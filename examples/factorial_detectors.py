@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Verifying error detectors: the Figure 3 factorial example (Section 4.2).
+
+The factorial program is augmented with two CHECK detectors.  SymPLFIED is
+asked which loop-counter errors still evade them: the search separates
+executions where a detector fires (DETECTED) from executions where the error
+slips through and corrupts the output, and for the latter it reports the
+constraints under which the detectors stay silent — exactly the feedback a
+designer needs to strengthen the detectors.
+
+Run with:  python examples/factorial_detectors.py
+"""
+
+from repro.constraints import Location
+from repro.core import (BoundedModelChecker, SymbolicCampaign, detected,
+                        output_contains_err)
+from repro.core.traces import witnesses_from_campaign
+from repro.errors import Injection
+from repro.machine import ExecutionConfig
+from repro.programs import (factorial_with_detectors_workload,
+                            factorial_workload)
+
+
+def count_outcomes(workload, injection, query, **campaign_options):
+    campaign = SymbolicCampaign(
+        workload.program,
+        input_values=workload.default_input,
+        memory=workload.data_segment,
+        detectors=workload.detectors,
+        execution_config=ExecutionConfig(max_steps=300),
+        max_solutions_per_injection=100,
+        max_states_per_injection=50_000,
+        **campaign_options)
+    return campaign, campaign.run(query, injections=[injection])
+
+
+def main() -> None:
+    unprotected = factorial_workload()
+    protected = factorial_with_detectors_workload()
+    print("detectors embedded in the protected program:")
+    print(protected.detectors.render())
+    print()
+
+    subi_pc = next(i for i, ins in enumerate(protected.program.code)
+                   if ins.opcode == "subi")
+    injection = Injection(breakpoint_pc=subi_pc + 1, target=Location.register(3),
+                          description="loop counter corrupted after decrement")
+
+    unprotected_subi = next(i for i, ins in enumerate(unprotected.program.code)
+                            if ins.opcode == "subi")
+    unprotected_injection = Injection(breakpoint_pc=unprotected_subi + 1,
+                                      target=Location.register(3))
+
+    _, unprotected_missed = count_outcomes(unprotected, unprotected_injection,
+                                           output_contains_err())
+    campaign, protected_missed = count_outcomes(protected, injection,
+                                                output_contains_err())
+    _, caught = count_outcomes(protected, injection, detected())
+
+    print("loop-counter error injected after the decrement:")
+    print(f"  unprotected program : {unprotected_missed.total_solutions} "
+          f"executions print a corrupted value, 0 detections possible")
+    print(f"  protected program   : {caught.total_solutions} executions are "
+          f"stopped by a detector, {protected_missed.total_solutions} still "
+          f"evade detection")
+    print()
+
+    witnesses = witnesses_from_campaign(protected.program, protected_missed,
+                                        golden_output=protected.golden_output())
+    if witnesses:
+        print("example witness of an error that evades both detectors:")
+        print(witnesses[0].render())
+        print()
+        print("The constraint set above tells the designer exactly which "
+              "corrupted counter values stay undetected (the paper's Section "
+              "4.2 conclusion: add a detector for the case where the corrupted "
+              "counter is smaller than the original input).")
+
+
+if __name__ == "__main__":
+    main()

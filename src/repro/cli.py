@@ -1,0 +1,246 @@
+"""Command-line interface for the SymPLFIED reproduction.
+
+The CLI mirrors how the paper's tool is used: feed it a program (SymPLFIED
+assembly, a minic source file, a MIPS file or the name of a bundled
+workload), optionally a detector file in the ``det(...)`` format, pick an
+error class and an outcome query, and it either runs the program, runs a
+concrete fault-injection campaign, or runs the symbolic campaign and reports
+every error that evades detection.
+
+Examples::
+
+    python -m repro run --workload factorial --input 5
+    python -m repro analyze --workload factorial --error-class register \
+        --query err-output --max-injections 20
+    python -m repro concrete --workload tcas --max-injections 50
+    python -m repro analyze --program prog.asm --detectors dets.txt \
+        --query wrong-final-value --expected 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import campaign_outcome_summary, format_witnesses
+from .concrete import ConcreteCampaign, printed_value_labeler
+from .core import SymbolicCampaign, witnesses_from_campaign
+from .detectors import DetectorSet, EMPTY_DETECTORS
+from .errors import STANDARD_ERROR_CLASSES, error_class
+from .frontend import generate_query, translate_mips
+from .isa import assemble
+from .lang import compile_source
+from .machine import ExecutionConfig, run_concrete
+from .programs import WORKLOADS, load_workload
+from .programs.base import Workload
+
+
+def _load_detectors(path: Optional[str]) -> DetectorSet:
+    if path is None:
+        return EMPTY_DETECTORS
+    with open(path, "r", encoding="utf-8") as handle:
+        return DetectorSet.parse(handle.read())
+
+
+def _load_workload(args: argparse.Namespace) -> Workload:
+    """Build the workload from --workload / --program / --minic / --mips."""
+    sources = [name for name in ("workload", "program", "minic", "mips")
+               if getattr(args, name, None)]
+    if len(sources) != 1:
+        raise SystemExit("exactly one of --workload, --program, --minic, --mips "
+                         "must be given")
+    detectors = _load_detectors(getattr(args, "detectors", None))
+    input_values = tuple(getattr(args, "input", ()) or ())
+
+    if args.workload:
+        workload = load_workload(args.workload)
+        if input_values:
+            workload.default_input = input_values
+        if len(detectors):
+            workload.detectors = detectors
+        return workload
+
+    if args.program:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            program = assemble(handle.read(), name=args.program)
+        return Workload(name=args.program, program=program, detectors=detectors,
+                        default_input=input_values,
+                        recommended_max_steps=args.max_steps)
+
+    if args.minic:
+        with open(args.minic, "r", encoding="utf-8") as handle:
+            compiled = compile_source(handle.read(), name=args.minic)
+        return Workload(name=args.minic, program=compiled.program,
+                        data_segment=compiled.initial_memory(),
+                        detectors=detectors, default_input=input_values,
+                        compiled=compiled, recommended_max_steps=args.max_steps)
+
+    with open(args.mips, "r", encoding="utf-8") as handle:
+        program = translate_mips(handle.read(), name=args.mips)
+    return Workload(name=args.mips, program=program, detectors=detectors,
+                    default_input=input_values,
+                    recommended_max_steps=args.max_steps)
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                        help="name of a bundled workload")
+    parser.add_argument("--program", help="path to a SymPLFIED assembly file")
+    parser.add_argument("--minic", help="path to a minic source file")
+    parser.add_argument("--mips", help="path to a MIPS assembly file")
+    parser.add_argument("--detectors", help="path to a det(...) detector file")
+    parser.add_argument("--input", type=int, nargs="*", default=None,
+                        help="input values for the program's read instructions")
+    parser.add_argument("--max-steps", type=int, default=20_000,
+                        help="watchdog bound on executed instructions")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SymPLFIED: symbolic program-level fault injection "
+                    "and error detection (reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run a program concretely (no faults) and print its output")
+    _add_common_arguments(run_parser)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="symbolic fault-injection campaign (the SymPLFIED analysis)")
+    _add_common_arguments(analyze)
+    analyze.add_argument("--error-class", default="register",
+                         choices=sorted(STANDARD_ERROR_CLASSES),
+                         help="hardware error class to sweep")
+    analyze.add_argument("--query", default="undetected-failure",
+                         choices=("err-output", "incorrect-output",
+                                  "wrong-final-value", "crash", "hang",
+                                  "undetected-failure"),
+                         help="outcome to search for")
+    analyze.add_argument("--expected", type=int, default=None,
+                         help="expected final printed value (wrong-final-value query)")
+    analyze.add_argument("--max-injections", type=int, default=None,
+                         help="cap on the number of injections swept")
+    analyze.add_argument("--max-solutions", type=int, default=10,
+                         help="per-injection cap on reported errors")
+    analyze.add_argument("--max-states", type=int, default=20_000,
+                         help="per-injection cap on explored states")
+    analyze.add_argument("--control-fork-domain", default="labels",
+                         choices=("labels", "targets", "all", "exception_only"))
+    analyze.add_argument("--witnesses", type=int, default=3,
+                         help="number of witnesses to print")
+
+    concrete = subparsers.add_parser(
+        "concrete", help="concrete (SimpleScalar-style) fault-injection campaign")
+    _add_common_arguments(concrete)
+    concrete.add_argument("--max-injections", type=int, default=None)
+    concrete.add_argument("--expected-values", type=int, nargs="*", default=None,
+                          help="printed values that get their own outcome row")
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    workload = _load_workload(args)
+    state = workload.initial_state()
+    run_concrete(workload.program, state, workload.detectors,
+                 max_steps=args.max_steps)
+    print(f"program  : {workload.program.describe()}")
+    print(f"status   : {state.status.value}"
+          + (f" ({state.exception})" if state.exception else ""))
+    print(f"steps    : {state.steps}")
+    print(f"output   : {list(state.output_values())}")
+    return 0 if state.status.value == "halted" else 1
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    workload = _load_workload(args)
+    golden = workload.golden_output()
+    expected = args.expected
+    if expected is None:
+        printed = [item for item in golden if isinstance(item, int)]
+        expected = printed[-1] if printed else None
+    query = generate_query(args.query, golden_output=golden,
+                           expected_value=expected)
+
+    campaign = SymbolicCampaign(
+        workload.program,
+        input_values=workload.default_input,
+        memory=workload.data_segment,
+        detectors=workload.detectors,
+        error_class=error_class(args.error_class),
+        execution_config=ExecutionConfig(
+            max_steps=args.max_steps,
+            control_fork_domain=args.control_fork_domain),
+        max_solutions_per_injection=args.max_solutions,
+        max_states_per_injection=args.max_states)
+
+    injections = campaign.enumerate_injections()
+    if args.max_injections is not None:
+        injections = injections[:args.max_injections]
+    print(f"program        : {workload.program.describe()}")
+    print(f"golden output  : {list(golden)}")
+    print(f"error class    : {args.error_class}")
+    print(f"query          : {query.description}")
+    print(f"injections     : {len(injections)}")
+
+    result = campaign.run(query, injections=injections)
+    print()
+    print(result.describe())
+    print()
+    summary = campaign_outcome_summary(result, golden)
+    print("solution outcome kinds:", {k: v for k, v in summary.items() if v})
+
+    witnesses = witnesses_from_campaign(workload.program, result, golden)
+    if witnesses:
+        print()
+        print(format_witnesses(witnesses, limit=args.witnesses))
+    if result.total_solutions == 0 and all(r.completed for r in result.results):
+        print("\nno errors of this class evade detection for the explored "
+              "injections: the program is resilient (within the search bounds).")
+    return 0
+
+
+def _command_concrete(args: argparse.Namespace) -> int:
+    workload = _load_workload(args)
+    golden = workload.golden_output()
+    expected_values = args.expected_values
+    if expected_values is None:
+        expected_values = [item for item in golden if isinstance(item, int)][-1:]
+
+    campaign = ConcreteCampaign(
+        workload.program,
+        input_values=workload.default_input,
+        memory=workload.data_segment,
+        detectors=workload.detectors,
+        labeler=printed_value_labeler(expected_values=tuple(expected_values)),
+        outcome_labels=tuple(str(v) for v in expected_values)
+        + ("other", "crash", "hang", "detected"),
+        max_steps=args.max_steps)
+    injections = campaign.enumerate_injections()
+    if args.max_injections is not None:
+        injections = injections[:args.max_injections]
+    print(f"program        : {workload.program.describe()}")
+    print(f"golden output  : {list(golden)}")
+    print(f"injections     : {len(injections)} "
+          f"({campaign.planned_experiments(injections)} experiments)")
+    result = campaign.run(injections=injections, keep_experiments=False)
+    print()
+    print(result.describe())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "analyze":
+        return _command_analyze(args)
+    if args.command == "concrete":
+        return _command_concrete(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

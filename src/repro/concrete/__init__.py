@@ -1,0 +1,15 @@
+"""Concrete fault injection: the SimpleScalar-substitute simulator and campaign."""
+
+from .simulator import ConcreteRun, ConcreteSimulator
+from .faultinjection import (ConcreteCampaign, ConcreteCampaignResult,
+                             ConcreteExperiment, INT32_MAX, INT32_MIN, ValuePolicy)
+from .stats import (OutcomeDistribution, OutcomeLabeler, printed_value_labeler,
+                    tcas_outcome_labels)
+
+__all__ = [
+    "ConcreteRun", "ConcreteSimulator",
+    "ConcreteCampaign", "ConcreteCampaignResult", "ConcreteExperiment",
+    "INT32_MAX", "INT32_MIN", "ValuePolicy",
+    "OutcomeDistribution", "OutcomeLabeler", "printed_value_labeler",
+    "tcas_outcome_labels",
+]

@@ -1,0 +1,12 @@
+"""Constraint tracking and the custom constraint solver (paper Section 5.2)."""
+
+from .constraint import ComparisonOp, Constraint, Location, RelationalConstraint
+from .constraint_set import Bound, ConstraintSet, IMPOSSIBLE, UnsatisfiableError, from_constraints
+from .constraint_map import ConstraintMap
+from .solver import relational_conflict
+
+__all__ = [
+    "ComparisonOp", "Constraint", "Location", "RelationalConstraint",
+    "Bound", "ConstraintSet", "IMPOSSIBLE", "UnsatisfiableError",
+    "from_constraints", "ConstraintMap", "relational_conflict",
+]

@@ -1,0 +1,176 @@
+"""Primitive constraints recorded by the comparison-handling sub-model.
+
+When the program compares a location holding ``err`` with a concrete integer
+and the execution forks, each branch must "remember" the outcome of the
+comparison (Section 5.2).  The remembered facts are constraints of the form
+``location <op> constant`` where ``<op>`` is one of the six comparison
+operators.  Constraints between two symbolic locations are handled separately
+by :mod:`repro.constraints.solver` as *relational* constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple, Union
+
+
+class Location:
+    """A storage location that may hold the symbolic ``err`` value.
+
+    Locations identify either a register (``Location.register(3)``), a memory
+    word (``Location.memory(1000)``) or the program counter.  They are the
+    keys of the :class:`~repro.constraints.constraint_map.ConstraintMap`.
+    """
+
+    __slots__ = ("kind", "index")
+
+    REGISTER = "reg"
+    MEMORY = "mem"
+    PC = "pc"
+
+    def __init__(self, kind: str, index: int = 0) -> None:
+        if kind not in (self.REGISTER, self.MEMORY, self.PC):
+            raise ValueError(f"unknown location kind {kind!r}")
+        self.kind = kind
+        self.index = index
+
+    @classmethod
+    def register(cls, number: int) -> "Location":
+        return cls(cls.REGISTER, number)
+
+    @classmethod
+    def memory(cls, address: int) -> "Location":
+        return cls(cls.MEMORY, address)
+
+    @classmethod
+    def pc(cls) -> "Location":
+        return cls(cls.PC, 0)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Location)
+                and self.kind == other.kind and self.index == other.index)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.index))
+
+    def __repr__(self) -> str:
+        if self.kind == self.REGISTER:
+            return f"$({self.index})"
+        if self.kind == self.MEMORY:
+            return f"*({self.index})"
+        return "PC"
+
+
+class ComparisonOp(Enum):
+    """The six comparison operators supported by the machine and detectors."""
+
+    EQ = "=="
+    NE = "=/="
+    GT = ">"
+    LT = "<"
+    GE = ">="
+    LE = "<="
+
+    def negate(self) -> "ComparisonOp":
+        """The operator describing the *false* branch of this comparison."""
+        return _NEGATIONS[self]
+
+    def flip(self) -> "ComparisonOp":
+        """The operator obtained by swapping the two operands."""
+        return _FLIPS[self]
+
+    def evaluate(self, left: int, right: int) -> bool:
+        """Evaluate the comparison on two concrete integers."""
+        if self is ComparisonOp.EQ:
+            return left == right
+        if self is ComparisonOp.NE:
+            return left != right
+        if self is ComparisonOp.GT:
+            return left > right
+        if self is ComparisonOp.LT:
+            return left < right
+        if self is ComparisonOp.GE:
+            return left >= right
+        return left <= right
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "ComparisonOp":
+        for op in cls:
+            if op.value == symbol:
+                return op
+        aliases = {"!=": cls.NE, "=": cls.EQ}
+        if symbol in aliases:
+            return aliases[symbol]
+        raise ValueError(f"unknown comparison operator {symbol!r}")
+
+
+_NEGATIONS = {
+    ComparisonOp.EQ: ComparisonOp.NE,
+    ComparisonOp.NE: ComparisonOp.EQ,
+    ComparisonOp.GT: ComparisonOp.LE,
+    ComparisonOp.LE: ComparisonOp.GT,
+    ComparisonOp.LT: ComparisonOp.GE,
+    ComparisonOp.GE: ComparisonOp.LT,
+}
+
+_FLIPS = {
+    ComparisonOp.EQ: ComparisonOp.EQ,
+    ComparisonOp.NE: ComparisonOp.NE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.GE: ComparisonOp.LE,
+    ComparisonOp.LE: ComparisonOp.GE,
+}
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single fact ``<op> constant`` about one symbolic location.
+
+    Mirrors the paper's examples such as ``notGreaterThan(5) notEqualTo(2)
+    greaterThan(0)``.
+    """
+
+    op: ComparisonOp
+    constant: int
+
+    def holds_for(self, value: int) -> bool:
+        """Does a concrete *value* satisfy this constraint?"""
+        return self.op.evaluate(value, self.constant)
+
+    def __repr__(self) -> str:
+        names = {
+            ComparisonOp.EQ: "equalTo",
+            ComparisonOp.NE: "notEqualTo",
+            ComparisonOp.GT: "greaterThan",
+            ComparisonOp.GE: "notLesserThan",
+            ComparisonOp.LT: "lesserThan",
+            ComparisonOp.LE: "notGreaterThan",
+        }
+        return f"{names[self.op]}({self.constant})"
+
+
+@dataclass(frozen=True)
+class RelationalConstraint:
+    """A fact relating two symbolic locations, e.g. ``$(3) > $(4)``.
+
+    The custom solver only performs light-weight contradiction detection on
+    relational constraints (the paper's solver is similarly conservative); the
+    main pruning power comes from the per-location constant constraints.
+    """
+
+    left: Location
+    op: ComparisonOp
+    right: Location
+
+    def normalized(self) -> "RelationalConstraint":
+        """Return an equivalent constraint with locations in canonical order."""
+        key_left = (self.left.kind, self.left.index)
+        key_right = (self.right.kind, self.right.index)
+        if key_right < key_left:
+            return RelationalConstraint(self.right, self.op.flip(), self.left)
+        return self
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op.value} {self.right!r}"

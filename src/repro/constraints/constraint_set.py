@@ -1,0 +1,308 @@
+"""Per-location constraint sets and their satisfiability check.
+
+A :class:`ConstraintSet` summarises every fact recorded so far about a single
+location that holds ``err``:
+
+* a lower bound (possibly strict),
+* an upper bound (possibly strict),
+* an optional forced equality, and
+* a set of excluded values.
+
+The representation directly supports the paper's example constraint set
+``notGreaterThan(5) notEqualTo(2) greaterThan(0)`` ("any integer value
+between 0 and 5 excluding 0 and 2 but including 5").  Adding a constraint
+eliminates redundancies eagerly, and :meth:`ConstraintSet.satisfiable`
+answers whether any integer can satisfy the whole set — the check the model
+checker uses to prune false-positive branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from .constraint import ComparisonOp, Constraint
+
+
+class UnsatisfiableError(Exception):
+    """Raised when a constraint set is discovered to be unsatisfiable."""
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A one-sided bound on an integer value."""
+
+    value: int
+    strict: bool
+
+    def as_inclusive_lower(self) -> int:
+        """Smallest integer permitted by this bound when used as a lower bound."""
+        return self.value + 1 if self.strict else self.value
+
+    def as_inclusive_upper(self) -> int:
+        """Largest integer permitted by this bound when used as an upper bound."""
+        return self.value - 1 if self.strict else self.value
+
+
+class ConstraintSet:
+    """The set of constraints attached to one symbolic location.
+
+    The set is immutable from the caller's perspective: :meth:`add` returns a
+    new set, leaving the original untouched, so that forked machine states can
+    share unmodified constraint sets safely.
+    """
+
+    __slots__ = ("lower", "upper", "equal", "excluded")
+
+    def __init__(self, lower: Optional[Bound] = None, upper: Optional[Bound] = None,
+                 equal: Optional[int] = None,
+                 excluded: FrozenSet[int] = frozenset()) -> None:
+        self.lower = lower
+        self.upper = upper
+        self.equal = equal
+        self.excluded = excluded
+
+    # ------------------------------------------------------------------ basics
+
+    def copy(self) -> "ConstraintSet":
+        return ConstraintSet(self.lower, self.upper, self.equal, self.excluded)
+
+    def is_unconstrained(self) -> bool:
+        return (self.lower is None and self.upper is None
+                and self.equal is None and not self.excluded)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ConstraintSet)
+                and self.lower == other.lower and self.upper == other.upper
+                and self.equal == other.equal and self.excluded == other.excluded)
+
+    def __hash__(self) -> int:
+        return hash((self.lower, self.upper, self.equal, self.excluded))
+
+    def __repr__(self) -> str:
+        return "{" + " ".join(repr(c) for c in self.to_constraints()) + "}"
+
+    # ------------------------------------------------------------------ adding
+
+    def add(self, constraint: Constraint) -> "ConstraintSet":
+        """Return a new set including *constraint* (may be unsatisfiable)."""
+        lower, upper, equal = self.lower, self.upper, self.equal
+        excluded = set(self.excluded)
+        op, constant = constraint.op, constraint.constant
+
+        if op is ComparisonOp.EQ:
+            if equal is None:
+                equal = constant
+            elif equal != constant:
+                return _IMPOSSIBLE
+        elif op is ComparisonOp.NE:
+            excluded.add(constant)
+        elif op is ComparisonOp.GT:
+            lower = _tighten_lower(lower, Bound(constant, strict=True))
+        elif op is ComparisonOp.GE:
+            lower = _tighten_lower(lower, Bound(constant, strict=False))
+        elif op is ComparisonOp.LT:
+            upper = _tighten_upper(upper, Bound(constant, strict=True))
+        elif op is ComparisonOp.LE:
+            upper = _tighten_upper(upper, Bound(constant, strict=False))
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown comparison {op}")
+
+        return ConstraintSet(lower, upper, equal,
+                             frozenset(excluded)).simplified()
+
+    def add_all(self, constraints: Iterable[Constraint]) -> "ConstraintSet":
+        result = self
+        for constraint in constraints:
+            result = result.add(constraint)
+        return result
+
+    # --------------------------------------------------------------- reasoning
+
+    def simplified(self) -> "ConstraintSet":
+        """Drop redundant exclusions and fold single-point ranges to equalities."""
+        lower, upper, equal = self.lower, self.upper, self.equal
+        excluded = set(self.excluded)
+
+        if equal is not None:
+            # An equality subsumes bounds; keep them only to check consistency.
+            if lower is not None and equal < lower.as_inclusive_lower():
+                return _IMPOSSIBLE
+            if upper is not None and equal > upper.as_inclusive_upper():
+                return _IMPOSSIBLE
+            if equal in excluded:
+                return _IMPOSSIBLE
+            return ConstraintSet(None, None, equal, frozenset())
+
+        low = lower.as_inclusive_lower() if lower is not None else None
+        high = upper.as_inclusive_upper() if upper is not None else None
+
+        excluded = {value for value in excluded
+                    if (low is None or value >= low) and (high is None or value <= high)}
+
+        if low is not None and high is not None:
+            if low > high:
+                return _IMPOSSIBLE
+            # Fold finite ranges that collapse to a single feasible value.
+            if high - low <= len(excluded):
+                feasible = [v for v in range(low, high + 1) if v not in excluded]
+                if not feasible:
+                    return _IMPOSSIBLE
+                if len(feasible) == 1:
+                    return ConstraintSet(None, None, feasible[0], frozenset())
+        return ConstraintSet(lower, upper, None, frozenset(excluded))
+
+    def satisfiable(self) -> bool:
+        """Can any integer satisfy every constraint in the set?"""
+        return self.simplified() is not _IMPOSSIBLE and not (
+            self is _IMPOSSIBLE)
+
+    def witness(self) -> Optional[int]:
+        """Return some integer satisfying the set, or None if unsatisfiable."""
+        simplified = self.simplified()
+        if simplified is _IMPOSSIBLE:
+            return None
+        if simplified.equal is not None:
+            return simplified.equal
+        low = (simplified.lower.as_inclusive_lower()
+               if simplified.lower is not None else None)
+        high = (simplified.upper.as_inclusive_upper()
+                if simplified.upper is not None else None)
+        if low is None and high is None:
+            candidate = 0
+        elif low is None:
+            candidate = high
+        else:
+            candidate = low
+        step = 1 if high is None or low is not None else -1
+        for _ in range(len(simplified.excluded) + 1):
+            if candidate in simplified.excluded:
+                candidate += step
+                continue
+            if low is not None and candidate < low:
+                return None
+            if high is not None and candidate > high:
+                return None
+            return candidate
+        return None
+
+    def admits(self, value: int) -> bool:
+        """Does the concrete integer *value* satisfy the whole set?"""
+        simplified = self.simplified()
+        if simplified is _IMPOSSIBLE:
+            return False
+        if simplified.equal is not None:
+            return value == simplified.equal
+        if simplified.lower is not None and value < simplified.lower.as_inclusive_lower():
+            return False
+        if simplified.upper is not None and value > simplified.upper.as_inclusive_upper():
+            return False
+        return value not in simplified.excluded
+
+    def entails(self, constraint: Constraint) -> bool:
+        """Is *constraint* already implied by the set?
+
+        Used to answer comparisons deterministically when possible (for
+        example a detector re-checking a condition the branch already
+        established), avoiding spurious forks.
+        """
+        simplified = self.simplified()
+        if simplified is _IMPOSSIBLE:
+            return True
+        op, constant = constraint.op, constraint.constant
+        if simplified.equal is not None:
+            return op.evaluate(simplified.equal, constant)
+        low = (simplified.lower.as_inclusive_lower()
+               if simplified.lower is not None else None)
+        high = (simplified.upper.as_inclusive_upper()
+                if simplified.upper is not None else None)
+        if op is ComparisonOp.GT:
+            return low is not None and low > constant
+        if op is ComparisonOp.GE:
+            return low is not None and low >= constant
+        if op is ComparisonOp.LT:
+            return high is not None and high < constant
+        if op is ComparisonOp.LE:
+            return high is not None and high <= constant
+        if op is ComparisonOp.NE:
+            if constant in simplified.excluded:
+                return True
+            if low is not None and constant < low:
+                return True
+            if high is not None and constant > high:
+                return True
+            return False
+        if op is ComparisonOp.EQ:
+            return low is not None and high is not None and low == high == constant \
+                and constant not in simplified.excluded
+        return False
+
+    def refutes(self, constraint: Constraint) -> bool:
+        """Is *constraint* impossible given the set?"""
+        return not self.add(constraint).satisfiable()
+
+    # ----------------------------------------------------------------- exports
+
+    def to_constraints(self) -> Tuple[Constraint, ...]:
+        """Export the set as a tuple of primitive constraints (canonical order)."""
+        constraints: List[Constraint] = []
+        if self.equal is not None:
+            constraints.append(Constraint(ComparisonOp.EQ, self.equal))
+        if self.lower is not None:
+            op = ComparisonOp.GT if self.lower.strict else ComparisonOp.GE
+            constraints.append(Constraint(op, self.lower.value))
+        if self.upper is not None:
+            op = ComparisonOp.LT if self.upper.strict else ComparisonOp.LE
+            constraints.append(Constraint(op, self.upper.value))
+        for value in sorted(self.excluded):
+            constraints.append(Constraint(ComparisonOp.NE, value))
+        return tuple(constraints)
+
+
+class _Impossible(ConstraintSet):
+    """Sentinel constraint set admitting no value at all."""
+
+    def add(self, constraint: Constraint) -> "ConstraintSet":
+        return self
+
+    def simplified(self) -> "ConstraintSet":
+        return self
+
+    def satisfiable(self) -> bool:
+        return False
+
+    def witness(self) -> Optional[int]:
+        return None
+
+    def admits(self, value: int) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "{unsatisfiable}"
+
+
+_IMPOSSIBLE = _Impossible()
+
+#: Public handle for the canonical unsatisfiable set.
+IMPOSSIBLE = _IMPOSSIBLE
+
+
+def _tighten_lower(current: Optional[Bound], new: Bound) -> Bound:
+    if current is None:
+        return new
+    if new.as_inclusive_lower() > current.as_inclusive_lower():
+        return new
+    return current
+
+
+def _tighten_upper(current: Optional[Bound], new: Bound) -> Bound:
+    if current is None:
+        return new
+    if new.as_inclusive_upper() < current.as_inclusive_upper():
+        return new
+    return current
+
+
+def from_constraints(constraints: Iterable[Constraint]) -> ConstraintSet:
+    """Build a constraint set from primitive constraints."""
+    return ConstraintSet().add_all(constraints)

@@ -1,0 +1,165 @@
+"""Light-weight relational reasoning for the custom constraint solver.
+
+The paper's solver plays two roles (Section 3.2 and 5.2):
+
+1. decide whether the conjunction of constraints accumulated along a forked
+   path is satisfiable, truncating the search when it is not, and
+2. eliminate redundant constraints.
+
+Per-location constant constraints are solved exactly by
+:class:`~repro.constraints.constraint_set.ConstraintSet`.  This module adds a
+conservative checker for the *relational* constraints between two symbolic
+locations (for example ``$(3) > $(4)`` recorded by the false branch of a loop
+condition): it detects direct contradictions, antisymmetry violations and
+cycles in the strict-order graph, plus inconsistencies between a relational
+constraint and the constant bounds of its endpoints.  Being conservative is
+safe — failing to detect an unsatisfiable combination merely leaves a
+false-positive path alive, which the paper explicitly tolerates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from .constraint import ComparisonOp, Location, RelationalConstraint
+from .constraint_set import ConstraintSet
+
+
+def _bounds(cset: Optional[ConstraintSet]) -> Tuple[Optional[int], Optional[int]]:
+    """Inclusive (low, high) bounds implied by a constraint set, if any."""
+    if cset is None:
+        return None, None
+    simplified = cset.simplified()
+    if not simplified.satisfiable():
+        return 1, 0  # empty range
+    if simplified.equal is not None:
+        return simplified.equal, simplified.equal
+    low = (simplified.lower.as_inclusive_lower()
+           if simplified.lower is not None else None)
+    high = (simplified.upper.as_inclusive_upper()
+            if simplified.upper is not None else None)
+    return low, high
+
+
+def _pairwise_conflict(a: RelationalConstraint, b: RelationalConstraint) -> bool:
+    """Do two relational constraints over the same location pair contradict?"""
+    if {a.left, a.right} != {b.left, b.right}:
+        return False
+    second = b if (b.left == a.left and b.right == a.right) else \
+        RelationalConstraint(b.right, b.op.flip(), b.left)
+    incompatible = {
+        ComparisonOp.EQ: {ComparisonOp.NE, ComparisonOp.GT, ComparisonOp.LT},
+        ComparisonOp.NE: {ComparisonOp.EQ},
+        ComparisonOp.GT: {ComparisonOp.EQ, ComparisonOp.LT, ComparisonOp.LE},
+        ComparisonOp.LT: {ComparisonOp.EQ, ComparisonOp.GT, ComparisonOp.GE},
+        ComparisonOp.GE: {ComparisonOp.LT},
+        ComparisonOp.LE: {ComparisonOp.GT},
+    }
+    return second.op in incompatible[a.op]
+
+
+def _bound_conflict(constraint: RelationalConstraint,
+                    sets: Mapping[Location, ConstraintSet]) -> bool:
+    """Does a relational constraint contradict its endpoints' constant bounds?"""
+    left_low, left_high = _bounds(sets.get(constraint.left))
+    right_low, right_high = _bounds(sets.get(constraint.right))
+    op = constraint.op
+    if op is ComparisonOp.GT:
+        # left > right impossible if max(left) <= min(right)
+        return (left_high is not None and right_low is not None
+                and left_high <= right_low)
+    if op is ComparisonOp.GE:
+        return (left_high is not None and right_low is not None
+                and left_high < right_low)
+    if op is ComparisonOp.LT:
+        return (left_low is not None and right_high is not None
+                and left_low >= right_high)
+    if op is ComparisonOp.LE:
+        return (left_low is not None and right_high is not None
+                and left_low > right_high)
+    if op is ComparisonOp.EQ:
+        if left_low is not None and right_high is not None and left_low > right_high:
+            return True
+        if left_high is not None and right_low is not None and left_high < right_low:
+            return True
+        return False
+    if op is ComparisonOp.NE:
+        # Contradiction only if both sides are pinned to the same single value.
+        return (left_low is not None and left_low == left_high
+                and right_low is not None and right_low == right_high
+                and left_low == right_low)
+    return False
+
+
+def _strict_cycle(constraints: Iterable[RelationalConstraint]) -> bool:
+    """Detect a cycle in the <=/< graph that contains at least one strict edge."""
+    # Build edges meaning "left < right" (strict) or "left <= right".
+    edges: Dict[Location, Set[Tuple[Location, bool]]] = {}
+
+    def add_edge(small: Location, big: Location, strict: bool) -> None:
+        edges.setdefault(small, set()).add((big, strict))
+
+    for constraint in constraints:
+        op = constraint.op
+        if op is ComparisonOp.LT:
+            add_edge(constraint.left, constraint.right, True)
+        elif op is ComparisonOp.LE:
+            add_edge(constraint.left, constraint.right, False)
+        elif op is ComparisonOp.GT:
+            add_edge(constraint.right, constraint.left, True)
+        elif op is ComparisonOp.GE:
+            add_edge(constraint.right, constraint.left, False)
+        elif op is ComparisonOp.EQ:
+            add_edge(constraint.left, constraint.right, False)
+            add_edge(constraint.right, constraint.left, False)
+
+    # DFS looking for a cycle with a strict edge.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Location, int] = {}
+
+    def dfs(node: Location, stack: Dict[Location, bool]) -> bool:
+        color[node] = GRAY
+        for successor, strict in edges.get(node, ()):
+            if color.get(successor, WHITE) == GRAY:
+                # Found a cycle: strict if any edge on the cycle is strict.
+                if strict or any(stack[n] for n in _cycle_nodes(stack, successor)):
+                    return True
+            elif color.get(successor, WHITE) == WHITE:
+                stack[successor] = strict
+                if dfs(successor, stack):
+                    return True
+                del stack[successor]
+        color[node] = BLACK
+        return False
+
+    def _cycle_nodes(stack: Dict[Location, bool], start: Location):
+        seen = False
+        for node in stack:
+            if node == start:
+                seen = True
+            if seen:
+                yield node
+
+    for node in list(edges):
+        if color.get(node, WHITE) == WHITE:
+            if dfs(node, {node: False}):
+                return True
+    return False
+
+
+def relational_conflict(constraints: FrozenSet[RelationalConstraint],
+                        sets: Mapping[Location, ConstraintSet]) -> bool:
+    """Conservatively decide whether the relational constraints are inconsistent.
+
+    Returns True only when a genuine contradiction is found; returns False when
+    consistency cannot be ruled out (which may leave false positives alive, as
+    the paper allows).
+    """
+    constraint_list = list(constraints)
+    for i, a in enumerate(constraint_list):
+        if _bound_conflict(a, sets):
+            return True
+        for b in constraint_list[i + 1:]:
+            if _pairwise_conflict(a, b):
+                return True
+    return _strict_cycle(constraint_list)

@@ -1,0 +1,25 @@
+"""The SymPLFIED core: symbolic model checking, queries, campaigns and tasks."""
+
+from .outcomes import Outcome, OutcomeKind, classify, golden_run_output
+from .queries import (SearchQuery, crashed, detected, halted_normally, hung,
+                      incorrect_output, last_printed_value, output_contains_err,
+                      output_differs, output_equals, printed_value,
+                      printed_value_other_than, undetected_failure)
+from .search import BoundedModelChecker, SearchResult, SearchStatistics, Solution
+from .campaign import CampaignResult, InjectionResult, SymbolicCampaign
+from .tasks import (SearchTask, TaskCampaignReport, TaskResult, TaskRunner,
+                    decompose_by_code_section, decompose_by_injection)
+from .traces import Witness, witnesses_from_campaign
+
+__all__ = [
+    "Outcome", "OutcomeKind", "classify", "golden_run_output",
+    "SearchQuery", "crashed", "detected", "halted_normally", "hung",
+    "incorrect_output", "last_printed_value", "output_contains_err",
+    "output_differs", "output_equals", "printed_value",
+    "printed_value_other_than", "undetected_failure",
+    "BoundedModelChecker", "SearchResult", "SearchStatistics", "Solution",
+    "CampaignResult", "InjectionResult", "SymbolicCampaign",
+    "SearchTask", "TaskCampaignReport", "TaskResult", "TaskRunner",
+    "decompose_by_code_section", "decompose_by_injection",
+    "Witness", "witnesses_from_campaign",
+]

@@ -1,0 +1,176 @@
+"""Symbolic fault-injection campaigns (paper Section 6.1).
+
+A campaign sweeps an error class over a program: for every injection point
+enumerated by the class (for example "``err`` in every register used by every
+instruction"), it
+
+1. runs the program concretely up to the breakpoint (guaranteeing the fault
+   is activated),
+2. replaces the target location's contents with ``err``,
+3. model-checks the resulting symbolic state against a search query
+   (e.g. "halted with a printed value other than 1"), and
+4. records the solutions, the search statistics and whether the per-injection
+   search completed.
+
+The paper splits such a campaign into independent search *tasks* executed on
+a cluster; the decomposition and the aggregate completion statistics live in
+:mod:`repro.core.tasks`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..detectors import DetectorSet, EMPTY_DETECTORS
+from ..errors.injector import Injection, prepare_injected_state
+from ..errors.models import ErrorClass, RegisterFileError
+from ..isa.program import Program
+from ..isa.values import ERR
+from ..machine.executor import ExecutionConfig, Executor
+from ..machine.state import MachineState, initial_state
+from .outcomes import Outcome, classify
+from .queries import SearchQuery
+from .search import BoundedModelChecker, SearchResult, Solution
+
+
+@dataclass
+class InjectionResult:
+    """Result of model checking a single injection experiment."""
+
+    injection: Injection
+    activated: bool
+    search: Optional[SearchResult] = None
+
+    @property
+    def found_solutions(self) -> bool:
+        return self.search is not None and self.search.found
+
+    @property
+    def solutions(self) -> List[Solution]:
+        return self.search.solutions if self.search is not None else []
+
+    @property
+    def completed(self) -> bool:
+        return self.search.completed if self.search is not None else True
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate result of a symbolic campaign."""
+
+    query_description: str
+    results: List[InjectionResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def injections_run(self) -> int:
+        return len(self.results)
+
+    @property
+    def injections_activated(self) -> int:
+        return sum(1 for r in self.results if r.activated)
+
+    @property
+    def injections_with_solutions(self) -> int:
+        return sum(1 for r in self.results if r.found_solutions)
+
+    @property
+    def total_solutions(self) -> int:
+        return sum(len(r.solutions) for r in self.results)
+
+    def solutions(self) -> List[Tuple[Injection, Solution]]:
+        found = []
+        for result in self.results:
+            for solution in result.solutions:
+                found.append((result.injection, solution))
+        return found
+
+    def outcomes(self, golden_output: Optional[Sequence] = None
+                 ) -> List[Tuple[Injection, Outcome]]:
+        """Classify every solution state against the golden output."""
+        return [(injection, classify(solution.state, golden_output))
+                for injection, solution in self.solutions()]
+
+    def describe(self) -> str:
+        lines = [
+            f"query                      : {self.query_description}",
+            f"injections run             : {self.injections_run}",
+            f"injections activated       : {self.injections_activated}",
+            f"injections with solutions  : {self.injections_with_solutions}",
+            f"total solutions            : {self.total_solutions}",
+            f"elapsed seconds            : {self.elapsed_seconds:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+class SymbolicCampaign:
+    """Sweep an error class over a program with symbolic fault injection."""
+
+    def __init__(self,
+                 program: Program,
+                 input_values: Sequence[int] = (),
+                 memory: Optional[Dict[int, int]] = None,
+                 detectors: DetectorSet = EMPTY_DETECTORS,
+                 error_class: Optional[ErrorClass] = None,
+                 execution_config: Optional[ExecutionConfig] = None,
+                 max_solutions_per_injection: int = 10,
+                 max_states_per_injection: int = 50_000,
+                 wall_clock_per_injection: Optional[float] = None) -> None:
+        self.program = program
+        self.input_values = tuple(input_values)
+        self.memory = dict(memory) if memory else {}
+        self.detectors = detectors
+        self.error_class = error_class or RegisterFileError()
+        self.execution_config = execution_config or ExecutionConfig()
+        self.max_solutions_per_injection = max_solutions_per_injection
+        self.max_states_per_injection = max_states_per_injection
+        self.wall_clock_per_injection = wall_clock_per_injection
+        self._executor = Executor(program, detectors, self.execution_config)
+
+    # ------------------------------------------------------------ enumeration
+
+    def fresh_initial_state(self) -> MachineState:
+        return initial_state(input_values=self.input_values, memory=self.memory)
+
+    def enumerate_injections(self,
+                             pcs: Optional[Sequence[int]] = None) -> List[Injection]:
+        """All injections of the campaign's error class (optionally restricted)."""
+        return self.error_class.enumerate(self.program, pcs=pcs)
+
+    # -------------------------------------------------------------- execution
+
+    def run_injection(self, injection: Injection,
+                      query: SearchQuery) -> InjectionResult:
+        """Model-check a single injection experiment."""
+        injected = prepare_injected_state(
+            self.program, injection, self.fresh_initial_state(), value=ERR,
+            detectors=self.detectors,
+            max_prefix_steps=self.execution_config.max_steps)
+        if injected is None:
+            return InjectionResult(injection=injection, activated=False)
+        checker = BoundedModelChecker(
+            self._executor,
+            max_solutions=self.max_solutions_per_injection,
+            max_states=self.max_states_per_injection,
+            wall_clock_seconds=self.wall_clock_per_injection)
+        result = checker.search_single(injected, query)
+        return InjectionResult(injection=injection, activated=True, search=result)
+
+    def run(self, query: SearchQuery,
+            injections: Optional[Sequence[Injection]] = None,
+            progress: Optional[Callable[[int, int, InjectionResult], None]] = None,
+            ) -> CampaignResult:
+        """Run the whole campaign (or the provided subset of injections)."""
+        campaign_start = time.monotonic()
+        if injections is None:
+            injections = self.enumerate_injections()
+        campaign = CampaignResult(query_description=query.description)
+        for index, injection in enumerate(injections):
+            result = self.run_injection(injection, query)
+            campaign.results.append(result)
+            if progress is not None:
+                progress(index + 1, len(injections), result)
+        campaign.elapsed_seconds = time.monotonic() - campaign_start
+        return campaign

@@ -1,0 +1,136 @@
+"""Outcome predicates — the "search command" conditions of Section 5.4.
+
+The paper exposes model checking through Maude's ``search`` command: the user
+provides a predicate on final machine states (for example *"the output
+contains err"* or *"the program did not throw an exception and produced a
+value other than 1"*).  A :class:`SearchQuery` couples such a predicate with
+a human-readable description; the query generator
+(:mod:`repro.frontend.querygen`) builds the common ones automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..isa.values import is_err
+from ..machine.state import MachineState, Status
+
+
+Predicate = Callable[[MachineState], bool]
+
+
+@dataclass(frozen=True)
+class SearchQuery:
+    """A named predicate over terminal machine states."""
+
+    description: str
+    predicate: Predicate
+
+    def __call__(self, state: MachineState) -> bool:
+        return self.predicate(state)
+
+    # ------------------------------------------------------------ combinators
+
+    def __and__(self, other: "SearchQuery") -> "SearchQuery":
+        return SearchQuery(f"({self.description}) and ({other.description})",
+                           lambda state: self.predicate(state) and other.predicate(state))
+
+    def __or__(self, other: "SearchQuery") -> "SearchQuery":
+        return SearchQuery(f"({self.description}) or ({other.description})",
+                           lambda state: self.predicate(state) or other.predicate(state))
+
+    def __invert__(self) -> "SearchQuery":
+        return SearchQuery(f"not ({self.description})",
+                           lambda state: not self.predicate(state))
+
+
+# ---------------------------------------------------------------- primitives
+
+def output_contains_err() -> SearchQuery:
+    """The paper's canonical query: some printed value is ``err``."""
+    return SearchQuery("output contains err",
+                       lambda state: state.output_contains_err())
+
+
+def crashed() -> SearchQuery:
+    return SearchQuery("program crashed (exception thrown)",
+                       lambda state: state.status is Status.EXCEPTION)
+
+
+def hung() -> SearchQuery:
+    return SearchQuery("program hung (watchdog timeout)",
+                       lambda state: state.status is Status.TIMEOUT)
+
+
+def detected() -> SearchQuery:
+    return SearchQuery("a detector fired",
+                       lambda state: state.status is Status.DETECTED)
+
+
+def halted_normally() -> SearchQuery:
+    return SearchQuery("program halted normally",
+                       lambda state: state.status is Status.HALTED)
+
+
+def printed_value(value) -> SearchQuery:
+    """Some ``print`` instruction emitted exactly *value*."""
+    return SearchQuery(f"program printed {value!r}",
+                       lambda state: value in state.printed_integers())
+
+
+def last_printed_value(value) -> SearchQuery:
+    def predicate(state: MachineState) -> bool:
+        printed = state.printed_integers()
+        return bool(printed) and printed[-1] == value
+    return SearchQuery(f"last printed value is {value!r}", predicate)
+
+
+def output_equals(expected: Sequence) -> SearchQuery:
+    expected_tuple = tuple(expected)
+    return SearchQuery(f"output equals {expected_tuple!r}",
+                       lambda state: state.output_values() == expected_tuple)
+
+
+def output_differs(expected: Sequence) -> SearchQuery:
+    expected_tuple = tuple(expected)
+    return SearchQuery(
+        f"output differs from the golden output {expected_tuple!r}",
+        lambda state: state.output_values() != expected_tuple)
+
+
+def incorrect_output(expected: Sequence) -> SearchQuery:
+    """Halted normally (no exception, no detection) but produced wrong output.
+
+    This is the query used for the tcas and replace campaigns in Section 6:
+    the program must not crash and must not be stopped by a detector, yet its
+    output differs from the error-free run (possibly being ``err``).
+    """
+    return halted_normally() & output_differs(expected)
+
+
+def undetected_failure(expected: Sequence) -> SearchQuery:
+    """Any failure (crash, hang or wrong output) that no detector caught."""
+    failing = crashed() | hung() | (halted_normally() & output_differs(expected))
+    return ~detected() & failing
+
+
+def printed_value_other_than(correct_value,
+                             allowed: Tuple = ()) -> SearchQuery:
+    """Halted normally and printed a final value different from *correct_value*.
+
+    Mirrors the Section 6.1 search: "runs in which the program did not throw
+    an exception and produced a value other than 1".
+    """
+    def predicate(state: MachineState) -> bool:
+        if state.status is not Status.HALTED:
+            return False
+        printed = state.printed_integers()
+        if not printed:
+            return True
+        final = printed[-1]
+        if is_err(final):
+            return True
+        return final != correct_value and final not in allowed
+    return SearchQuery(
+        f"halted with a printed value other than {correct_value!r}", predicate)

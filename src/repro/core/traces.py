@@ -1,0 +1,70 @@
+"""Execution witnesses: how an injected error evaded detection and failed.
+
+The paper stresses that SymPLFIED "can also show an execution trace of how
+the error evaded detection and led to the failure", which is what lets a
+programmer strengthen the detectors.  A :class:`Witness` couples an injection
+with a terminal state found by the search; when the search was run with
+``record_trace=True`` the state carries the per-step trace, and the witness
+can render the full path from the injection point to the failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors.injector import Injection
+from ..isa.program import Program
+from ..isa.values import format_value
+from ..machine.state import MachineState
+from .outcomes import Outcome, classify
+
+
+@dataclass
+class Witness:
+    """A concrete explanation of one error that leads to a failure."""
+
+    program: Program
+    injection: Injection
+    state: MachineState
+    golden_output: Optional[Sequence] = None
+
+    @property
+    def outcome(self) -> Outcome:
+        return classify(self.state, self.golden_output)
+
+    def render(self, max_trace_lines: int = 40) -> str:
+        """Human-readable description of the witness."""
+        lines: List[str] = []
+        lines.append(f"program   : {self.program.name}")
+        lines.append(f"injection : {self.injection.label()}")
+        lines.append(f"  at source line: {self.program.source_line(self.injection.breakpoint_pc)}")
+        lines.append(f"outcome   : {self.outcome.describe()}")
+        lines.append(f"steps     : {self.state.steps}, forks: {self.state.forks}")
+        if self.state.exception:
+            lines.append(f"exception : {self.state.exception}")
+        lines.append("final constraints on symbolic locations:")
+        lines.append(self.state.constraints.describe())
+        if self.state.trace:
+            lines.append("execution trace (injection onwards):")
+            trace = self.state.trace
+            shown = trace if len(trace) <= max_trace_lines else trace[-max_trace_lines:]
+            if len(trace) > max_trace_lines:
+                lines.append(f"  ... {len(trace) - max_trace_lines} earlier steps elided ...")
+            for entry in shown:
+                lines.append(f"  [{format_value(entry.pc)}] {entry.text}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def witnesses_from_campaign(program: Program, campaign_result,
+                            golden_output: Optional[Sequence] = None) -> List[Witness]:
+    """Build witnesses for every solution found by a campaign."""
+    witnesses = []
+    for injection, solution in campaign_result.solutions():
+        witnesses.append(Witness(program=program, injection=injection,
+                                 state=solution.state,
+                                 golden_output=golden_output))
+    return witnesses

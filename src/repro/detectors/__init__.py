@@ -1,0 +1,16 @@
+"""Detector model: specification format, expressions and execution semantics."""
+
+from .expression import (BinaryOp, Constant, Expression, ExpressionError,
+                         MemoryRef, RegisterRef, StateReader, parse_expression,
+                         single_location)
+from .detector import (Detector, DetectorError, DetectorSet, EMPTY_DETECTORS,
+                       parse_detector, parse_target)
+from .runtime import DetectorOutcome, MachineStateReader, execute_detector, read_location
+
+__all__ = [
+    "BinaryOp", "Constant", "Expression", "ExpressionError", "MemoryRef",
+    "RegisterRef", "StateReader", "parse_expression", "single_location",
+    "Detector", "DetectorError", "DetectorSet", "EMPTY_DETECTORS",
+    "parse_detector", "parse_target",
+    "DetectorOutcome", "MachineStateReader", "execute_detector", "read_location",
+]

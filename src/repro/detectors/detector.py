@@ -1,0 +1,127 @@
+"""Detector specifications (paper Section 5.3).
+
+A detector is an executable check embedded in the program through the
+``check`` instruction.  Its specification is written *outside* the program as
+
+.. code-block:: text
+
+    det(ID, Register or Memory location, Comparison op, Arithmetic expression)
+
+for example ``det(4, $(5), ==, ($3) + *(1000))``: detector 4 checks that
+register ``$5`` equals the sum of register ``$3`` and memory word 1000.  The
+same detector may be invoked from multiple ``check`` sites.  If the check
+fails, an exception is thrown and the program halts (the detection action).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..constraints import ComparisonOp, Location
+from .expression import Expression, ExpressionError, parse_expression
+
+
+class DetectorError(ValueError):
+    """Raised for malformed detector specifications."""
+
+
+@dataclass(frozen=True)
+class Detector:
+    """A single detector specification."""
+
+    identifier: int
+    target: Location
+    op: ComparisonOp
+    expression: Expression
+    description: str = ""
+
+    def render(self) -> str:
+        target = f"$({self.target.index})" if self.target.kind == Location.REGISTER \
+            else f"*({self.target.index})"
+        return (f"det({self.identifier}, {target}, {self.op.value}, "
+                f"{self.expression.render()})")
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+_TARGET_RE = re.compile(r"^\s*(\$|\*)\(?\s*(\d+)\s*\)?\s*$")
+
+
+def parse_target(text: str) -> Location:
+    """Parse a detector target: ``$(n)`` (register) or ``*(addr)`` (memory)."""
+    match = _TARGET_RE.match(text)
+    if match is None:
+        raise DetectorError(f"bad detector target {text!r}")
+    kind, index = match.group(1), int(match.group(2))
+    return Location.register(index) if kind == "$" else Location.memory(index)
+
+
+_DET_RE = re.compile(
+    r"^\s*det\s*\(\s*(?P<id>\d+)\s*,\s*(?P<target>[^,]+)\s*,"
+    r"\s*(?P<op>==|=/=|!=|>=|<=|>|<)\s*,\s*(?P<expr>.+)\)\s*$")
+
+
+def parse_detector(text: str) -> Detector:
+    """Parse the textual ``det(...)`` form into a :class:`Detector`."""
+    match = _DET_RE.match(text.strip())
+    if match is None:
+        raise DetectorError(f"cannot parse detector {text!r}")
+    try:
+        expression = parse_expression(match.group("expr"))
+    except ExpressionError as exc:
+        raise DetectorError(str(exc)) from exc
+    return Detector(
+        identifier=int(match.group("id")),
+        target=parse_target(match.group("target")),
+        op=ComparisonOp.from_symbol(match.group("op")),
+        expression=expression,
+    )
+
+
+class DetectorSet:
+    """The collection of detectors available to a program's ``check`` sites."""
+
+    def __init__(self, detectors: Iterable[Detector] = ()) -> None:
+        self._by_id: Dict[int, Detector] = {}
+        for detector in detectors:
+            self.add(detector)
+
+    def add(self, detector: Detector) -> None:
+        if detector.identifier in self._by_id:
+            raise DetectorError(f"duplicate detector id {detector.identifier}")
+        self._by_id[detector.identifier] = detector
+
+    def get(self, identifier: int) -> Optional[Detector]:
+        return self._by_id.get(identifier)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Detector]:
+        return iter(self._by_id.values())
+
+    def __contains__(self, identifier: int) -> bool:
+        return identifier in self._by_id
+
+    def identifiers(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._by_id))
+
+    @classmethod
+    def parse(cls, text: str) -> "DetectorSet":
+        """Parse a newline-separated list of ``det(...)`` specifications."""
+        detectors = []
+        for line in text.splitlines():
+            stripped = line.split("--")[0].strip()
+            if stripped:
+                detectors.append(parse_detector(stripped))
+        return cls(detectors)
+
+    def render(self) -> str:
+        return "\n".join(det.render() for det in self)
+
+
+#: A detector set with no detectors (used for unprotected programs).
+EMPTY_DETECTORS = DetectorSet()

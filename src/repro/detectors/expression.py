@@ -1,0 +1,247 @@
+"""Arithmetic expressions used by error detectors (paper Section 5.3).
+
+The detector grammar is::
+
+    Expr ::= Expr + Expr | Expr - Expr | Expr * Expr | Expr / Expr
+           | (c) | $(RegName) | *(memory address)
+
+Expressions are represented as a small immutable AST and can be parsed from
+the textual form used in the paper, e.g. ``($3) + *(1000)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple, Union
+
+from ..constraints import Location
+from ..isa.values import ERR, Value, is_err
+from ..errors.propagation import NonDeterministicOperation, symbolic_binary
+
+
+class ExpressionError(ValueError):
+    """Raised for malformed detector expressions."""
+
+
+class Expression:
+    """Base class of detector expression nodes."""
+
+    def evaluate(self, reader: "StateReader") -> Value:
+        raise NotImplementedError
+
+    def locations(self) -> Set[Location]:
+        """Every register/memory location the expression reads."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class StateReader:
+    """Minimal read-only view of a machine state used to evaluate expressions.
+
+    Decouples the detector model from the machine model so that the two can
+    be tested independently (mirroring the paper's claim that detector
+    equations are independent of the machine equations).
+    """
+
+    def read_register(self, number: int) -> Value:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def read_memory(self, address: int) -> Value:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(Expression):
+    value: int
+
+    def evaluate(self, reader: StateReader) -> Value:
+        return self.value
+
+    def locations(self) -> Set[Location]:
+        return set()
+
+    def render(self) -> str:
+        return f"({self.value})"
+
+
+@dataclass(frozen=True)
+class RegisterRef(Expression):
+    number: int
+
+    def evaluate(self, reader: StateReader) -> Value:
+        return reader.read_register(self.number)
+
+    def locations(self) -> Set[Location]:
+        return {Location.register(self.number)}
+
+    def render(self) -> str:
+        return f"$({self.number})"
+
+
+@dataclass(frozen=True)
+class MemoryRef(Expression):
+    address: int
+
+    def evaluate(self, reader: StateReader) -> Value:
+        return reader.read_memory(self.address)
+
+    def locations(self) -> Set[Location]:
+        return {Location.memory(self.address)}
+
+    def render(self) -> str:
+        return f"*({self.address})"
+
+
+_OPERATOR_NAMES = {"+": "add", "-": "sub", "*": "mult", "/": "div"}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATOR_NAMES:
+            raise ExpressionError(f"unknown operator {self.operator!r}")
+
+    def evaluate(self, reader: StateReader) -> Value:
+        left = self.left.evaluate(reader)
+        right = self.right.evaluate(reader)
+        try:
+            return symbolic_binary(_OPERATOR_NAMES[self.operator], left, right)
+        except NonDeterministicOperation:
+            # Division by a symbolic value inside a detector expression: the
+            # detector cannot know the result, so it evaluates to err.
+            return ERR
+        except ZeroDivisionError:
+            # Detectors are assumed error-free; a division by zero in the
+            # expression makes the comparison vacuously symbolic.
+            return ERR
+
+    def locations(self) -> Set[Location]:
+        return self.left.locations() | self.right.locations()
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.operator} {self.right.render()}"
+
+
+def single_location(expression: Expression) -> Optional[Location]:
+    """If the expression is a bare register/memory reference, its location."""
+    if isinstance(expression, RegisterRef):
+        return Location.register(expression.number)
+    if isinstance(expression, MemoryRef):
+        return Location.memory(expression.address)
+    return None
+
+
+# ---------------------------------------------------------------------- parser
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<register>\$\(\s*\d+\s*\)|\$\d+)   |
+        (?P<memory>\*\(\s*\d+\s*\))       |
+        (?P<number>-?\d+)                 |
+        (?P<operator>[+\-*/])             |
+        (?P<lparen>\()                    |
+        (?P<rparen>\))
+    )
+""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            raise ExpressionError(f"cannot tokenize expression at {text[position:]!r}")
+        position = match.end()
+        for kind, value in match.groupdict().items():
+            if value is not None:
+                tokens.append((kind, value.strip()))
+                break
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser with standard precedence (* / over + -)."""
+
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def parse(self) -> Expression:
+        expression = self.parse_sum()
+        if self.position != len(self.tokens):
+            raise ExpressionError(f"unexpected token {self.peek()!r}")
+        return expression
+
+    def parse_sum(self) -> Expression:
+        left = self.parse_product()
+        while self.peek() and self.peek()[0] == "operator" and self.peek()[1] in "+-":
+            operator = self.advance()[1]
+            right = self.parse_product()
+            left = BinaryOp(operator, left, right)
+        return left
+
+    def parse_product(self) -> Expression:
+        left = self.parse_atom()
+        while self.peek() and self.peek()[0] == "operator" and self.peek()[1] in "*/":
+            operator = self.advance()[1]
+            right = self.parse_atom()
+            left = BinaryOp(operator, left, right)
+        return left
+
+    def parse_atom(self) -> Expression:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError("unexpected end of expression")
+        kind, text = token
+        if kind == "register":
+            self.advance()
+            digits = re.sub(r"[^\d]", "", text)
+            return RegisterRef(int(digits))
+        if kind == "memory":
+            self.advance()
+            digits = re.sub(r"[^\d]", "", text)
+            return MemoryRef(int(digits))
+        if kind == "number":
+            self.advance()
+            return Constant(int(text))
+        if kind == "lparen":
+            self.advance()
+            inner = self.parse_sum()
+            closing = self.peek()
+            if closing is None or closing[0] != "rparen":
+                raise ExpressionError("missing closing parenthesis")
+            self.advance()
+            return inner
+        raise ExpressionError(f"unexpected token {text!r}")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse the paper's textual expression format into an AST."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExpressionError("empty expression")
+    return _Parser(tokens).parse()

@@ -1,0 +1,105 @@
+"""Execution semantics of detectors under symbolic state (paper Section 5.3).
+
+Executing a detector compares the value held in its target location with the
+value of its arithmetic expression.  With concrete operands the comparison is
+deterministic; if either side involves ``err`` the execution forks into a
+*pass* case and a *fail* case exactly like ordinary program comparisons, and
+the constraints for the checked location are updated in the ConstraintMap.
+The fail case corresponds to the detector firing: an exception is thrown and
+the program is halted.
+
+Detectors themselves are assumed error-free (paper assumption); their
+expression evaluation therefore uses the ordinary propagation rules but never
+crashes the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..constraints import ConstraintMap, Location
+from ..errors.comparison import ComparisonOutcome, resolve_comparison
+from ..isa.values import Value, is_err
+from .detector import Detector
+from .expression import StateReader, single_location
+
+
+@dataclass(frozen=True)
+class DetectorOutcome:
+    """One feasible result of executing a detector.
+
+    ``detected`` is True when the check failed (the detector fires and the
+    program is stopped); ``constraints`` is the updated constraint map for
+    the corresponding branch.
+    """
+
+    detected: bool
+    constraints: ConstraintMap
+    forked: bool = False
+
+
+class MachineStateReader(StateReader):
+    """Adapter exposing a machine state to detector expressions.
+
+    Reads of undefined memory return 0 rather than crashing: detectors are
+    assumed not to fail, and an undefined address in a detector expression is
+    a specification bug rather than a program error.
+    """
+
+    def __init__(self, state) -> None:
+        self._state = state
+
+    def read_register(self, number: int) -> Value:
+        return self._state.read_register(number)
+
+    def read_memory(self, address: int) -> Value:
+        if self._state.is_defined_address(address):
+            return self._state.read_memory(address)
+        return 0
+
+
+def read_location(state, location: Location) -> Value:
+    """Read the value of a register or memory location from a machine state."""
+    if location.kind == Location.REGISTER:
+        return state.read_register(location.index)
+    if location.kind == Location.MEMORY:
+        if state.is_defined_address(location.index):
+            return state.read_memory(location.index)
+        return 0
+    return state.pc
+
+
+def execute_detector(detector: Detector, state,
+                     constraints: Optional[ConstraintMap] = None,
+                     ) -> List[DetectorOutcome]:
+    """Execute *detector* against *state*, returning every feasible outcome.
+
+    The detector's check is of the form ``target <op> expression``; the check
+    *passes* when the comparison holds and *fails* (detection) otherwise.
+    """
+    constraint_map = constraints if constraints is not None else state.constraints
+    reader = MachineStateReader(state)
+    target_value = read_location(state, detector.target)
+    expression_value = detector.expression.evaluate(reader)
+
+    expression_location = single_location(detector.expression)
+    target_location = detector.target
+
+    outcomes = resolve_comparison(
+        constraint_map,
+        detector.op,
+        target_value,
+        expression_value,
+        left_location=target_location if is_err(target_value) else None,
+        right_location=expression_location if is_err(expression_value) else None,
+    )
+
+    results: List[DetectorOutcome] = []
+    for outcome in outcomes:
+        results.append(DetectorOutcome(
+            detected=not outcome.result,
+            constraints=outcome.constraints,
+            forked=outcome.forked,
+        ))
+    return results

@@ -1,0 +1,124 @@
+"""Non-deterministic comparison handling (paper Section 5.2).
+
+Comparisons whose operands include the symbolic ``err`` value cannot be
+resolved deterministically; the execution forks into a *true* case and a
+*false* case.  Each case must remember the outcome so that later comparisons
+over the same unmodified location resolve consistently — otherwise the search
+reports false positives.  The memory is the
+:class:`~repro.constraints.constraint_map.ConstraintMap`: the true branch
+adds ``location <op> constant`` and the false branch adds the negated
+constraint.  Branches whose accumulated constraints become unsatisfiable are
+pruned (they correspond to no real execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..constraints import (ComparisonOp, Constraint, ConstraintMap, Location,
+                           RelationalConstraint)
+from ..isa.values import Value, is_err
+
+
+@dataclass(frozen=True)
+class ComparisonOutcome:
+    """One feasible resolution of a (possibly symbolic) comparison."""
+
+    result: bool
+    constraints: ConstraintMap
+    forked: bool = False
+
+    def __iter__(self):
+        # Allows ``for result, constraints in outcomes`` style unpacking.
+        yield self.result
+        yield self.constraints
+
+
+def resolve_comparison(constraints: ConstraintMap,
+                       op: ComparisonOp,
+                       left: Value,
+                       right: Value,
+                       left_location: Optional[Location] = None,
+                       right_location: Optional[Location] = None,
+                       ) -> List[ComparisonOutcome]:
+    """Resolve ``left <op> right`` under the current constraint map.
+
+    Returns every feasible outcome.  Deterministic comparisons return exactly
+    one outcome; symbolic comparisons return one or two depending on what the
+    accumulated constraints already entail.
+    """
+    left_err = is_err(left)
+    right_err = is_err(right)
+
+    if not left_err and not right_err:
+        return [ComparisonOutcome(op.evaluate(left, right), constraints)]
+
+    if left_err and not right_err:
+        return _resolve_one_sided(constraints, op, left_location, right)
+
+    if right_err and not left_err:
+        # ``c <op> err``  ==  ``err <flip(op)> c``
+        return _resolve_one_sided(constraints, op.flip(), right_location, left)
+
+    return _resolve_two_sided(constraints, op, left_location, right_location)
+
+
+def _resolve_one_sided(constraints: ConstraintMap, op: ComparisonOp,
+                       location: Optional[Location],
+                       constant: int) -> List[ComparisonOutcome]:
+    """A symbolic location compared against a concrete constant."""
+    if location is None:
+        # The err value is not attached to a trackable location (for example
+        # an err produced by a computation): fork without remembering.
+        return [ComparisonOutcome(True, constraints, forked=True),
+                ComparisonOutcome(False, constraints, forked=True)]
+
+    true_fact = Constraint(op, constant)
+    false_fact = Constraint(op.negate(), constant)
+    known = constraints.constraints_for(location)
+
+    if known.entails(true_fact):
+        return [ComparisonOutcome(True, constraints)]
+    if known.entails(false_fact):
+        return [ComparisonOutcome(False, constraints)]
+
+    outcomes: List[ComparisonOutcome] = []
+    true_map = constraints.with_constraint(location, true_fact)
+    if true_map.satisfiable():
+        outcomes.append(ComparisonOutcome(True, true_map, forked=True))
+    false_map = constraints.with_constraint(location, false_fact)
+    if false_map.satisfiable():
+        outcomes.append(ComparisonOutcome(False, false_map, forked=True))
+    if not outcomes:
+        # Both directions contradict earlier facts; this path is infeasible.
+        # Callers treat an empty list as "prune this state".
+        return []
+    return outcomes
+
+
+def _resolve_two_sided(constraints: ConstraintMap, op: ComparisonOp,
+                       left_location: Optional[Location],
+                       right_location: Optional[Location],
+                       ) -> List[ComparisonOutcome]:
+    """Both operands are symbolic."""
+    if left_location is None or right_location is None:
+        return [ComparisonOutcome(True, constraints, forked=True),
+                ComparisonOutcome(False, constraints, forked=True)]
+
+    if left_location == right_location:
+        # Same storage location compared with itself: fully deterministic.
+        reflexive_true = op in (ComparisonOp.EQ, ComparisonOp.GE, ComparisonOp.LE)
+        return [ComparisonOutcome(reflexive_true, constraints)]
+
+    true_map = constraints.with_relational(
+        RelationalConstraint(left_location, op, right_location))
+    false_map = constraints.with_relational(
+        RelationalConstraint(left_location, op.negate(), right_location))
+
+    outcomes: List[ComparisonOutcome] = []
+    if true_map.satisfiable():
+        outcomes.append(ComparisonOutcome(True, true_map, forked=True))
+    if false_map.satisfiable():
+        outcomes.append(ComparisonOutcome(False, false_map, forked=True))
+    return outcomes

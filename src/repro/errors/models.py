@@ -1,0 +1,245 @@
+"""Error classes of the SymPLFIED fault model (paper Section 3.3, Table 1).
+
+The fault model covers transient errors in
+
+* the register file and main memory (modelled by replacing the contents of
+  the location with ``err``; no distinction between single- and multi-bit
+  flips),
+* computation, categorised by where the fault originates in the pipeline
+  (Table 1): instruction decoder, address/data bus, functional unit and the
+  instruction-fetch mechanism, and
+* control flow (an erroneous PC).
+
+Each :class:`ErrorClass` enumerates concrete :class:`~repro.errors.injector.
+Injection` experiments for a given program, following the paper's activation
+optimisation (inject immediately before the instruction that uses the
+corrupted location).  Errors in processor control logic (register renaming
+and the like) are outside the fault model, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..constraints import Location
+from ..isa.instructions import Category, Instruction
+from ..isa.program import Program
+from .injector import Injection, registers_used_at
+
+
+class ErrorClass:
+    """Base class: a named category of transient hardware errors."""
+
+    name: str = "abstract"
+
+    def enumerate(self, program: Program,
+                  pcs: Optional[Sequence[int]] = None) -> List[Injection]:
+        """Enumerate the injections of this class for *program*.
+
+        *pcs* optionally restricts the sweep to a subset of code addresses
+        (used to decompose the campaign into independent search tasks).
+        """
+        raise NotImplementedError
+
+    def _addresses(self, program: Program,
+                   pcs: Optional[Sequence[int]]) -> Sequence[int]:
+        return range(len(program)) if pcs is None else pcs
+
+
+@dataclass
+class RegisterFileError(ErrorClass):
+    """Transient error in a register (the class evaluated in Section 6).
+
+    ``policy`` selects which registers are injected at each instruction; the
+    paper injects the registers *used* by the instruction so the fault is
+    guaranteed to be activated.
+    """
+
+    policy: str = "used"
+    name: str = "register"
+
+    def enumerate(self, program: Program,
+                  pcs: Optional[Sequence[int]] = None) -> List[Injection]:
+        injections: List[Injection] = []
+        for pc in self._addresses(program, pcs):
+            for register in registers_used_at(program, pc, self.policy):
+                injections.append(Injection(
+                    breakpoint_pc=pc, target=Location.register(register),
+                    description=f"register-file error in ${register}"))
+        return injections
+
+
+@dataclass
+class MemoryError(ErrorClass):
+    """Transient error in a main-memory / cache word.
+
+    Injected into the word addressed by each load instruction (so the error
+    is activated by the load), mirroring the bus-error rows of Table 1.
+    """
+
+    addresses: Optional[Sequence[int]] = None
+    name: str = "memory"
+
+    def enumerate(self, program: Program,
+                  pcs: Optional[Sequence[int]] = None) -> List[Injection]:
+        injections: List[Injection] = []
+        for pc in self._addresses(program, pcs):
+            instruction = program.fetch(pc)
+            if instruction is None or instruction.category is not Category.LOAD:
+                continue
+            if self.addresses is None:
+                # The load address is only known dynamically; corrupt the
+                # loaded destination register instead, which is equivalent to
+                # an error on the memory/cache bus feeding that load.
+                target = Location.register(instruction.operands[0])
+                injections.append(Injection(
+                    breakpoint_pc=pc + 1, target=target,
+                    description="memory word feeding this load (via bus)"))
+            else:
+                for address in self.addresses:
+                    injections.append(Injection(
+                        breakpoint_pc=pc, target=Location.memory(address),
+                        description=f"memory word {address}"))
+        return injections
+
+
+@dataclass
+class BusError(ErrorClass):
+    """Address/data bus error: corrupts the source registers of an instruction
+    (Table 1, "Data read from memory, cache or register file is corrupted")."""
+
+    name: str = "bus"
+
+    def enumerate(self, program: Program,
+                  pcs: Optional[Sequence[int]] = None) -> List[Injection]:
+        injections: List[Injection] = []
+        for pc in self._addresses(program, pcs):
+            for register in registers_used_at(program, pc, "reads"):
+                injections.append(Injection(
+                    breakpoint_pc=pc, target=Location.register(register),
+                    description="register data bus error"))
+        return injections
+
+
+@dataclass
+class FunctionalUnitError(ErrorClass):
+    """Functional-unit output corrupted: err in the destination register or
+    memory word written by the instruction (Table 1)."""
+
+    name: str = "functional-unit"
+
+    def enumerate(self, program: Program,
+                  pcs: Optional[Sequence[int]] = None) -> List[Injection]:
+        injections: List[Injection] = []
+        for pc in self._addresses(program, pcs):
+            instruction = program.fetch(pc)
+            if instruction is None:
+                continue
+            written = instruction.registers_written()
+            if not written:
+                continue
+            # The corrupted output is visible right after the instruction.
+            for register in written:
+                if register == 0:
+                    continue
+                injections.append(Injection(
+                    breakpoint_pc=pc + 1, target=Location.register(register),
+                    description="functional unit output error"))
+        return injections
+
+
+@dataclass
+class DecodeError(ErrorClass):
+    """Instruction-decoder error (Table 1).
+
+    A decode error converts one valid instruction into another.  Table 1
+    models its three sub-cases through ``err`` in the original and/or new
+    destination: we enumerate ``err`` in the instruction's destination (the
+    original target no longer receives its value) and, for instructions with
+    no destination, ``err`` in the registers the instruction reads (a freshly
+    introduced wrong target).
+    """
+
+    name: str = "decode"
+
+    def enumerate(self, program: Program,
+                  pcs: Optional[Sequence[int]] = None) -> List[Injection]:
+        injections: List[Injection] = []
+        for pc in self._addresses(program, pcs):
+            instruction = program.fetch(pc)
+            if instruction is None:
+                continue
+            written = [r for r in instruction.registers_written() if r != 0]
+            if written:
+                for register in written:
+                    injections.append(Injection(
+                        breakpoint_pc=pc + 1, target=Location.register(register),
+                        description="decode error: original/new target corrupted"))
+            else:
+                for register in registers_used_at(program, pc, "reads"):
+                    injections.append(Injection(
+                        breakpoint_pc=pc, target=Location.register(register),
+                        description="decode error: wrong target introduced"))
+        return injections
+
+
+@dataclass
+class FetchError(ErrorClass):
+    """Instruction-fetch error: the PC is corrupted (Table 1, last row).
+
+    The symbolic executor resolves a corrupted PC by forking to arbitrary but
+    valid code locations, or raising an illegal-instruction exception.
+    """
+
+    name: str = "fetch"
+
+    def enumerate(self, program: Program,
+                  pcs: Optional[Sequence[int]] = None) -> List[Injection]:
+        return [Injection(breakpoint_pc=pc, target=Location.pc(),
+                          description="instruction fetch error (corrupted PC)")
+                for pc in self._addresses(program, pcs)]
+
+
+@dataclass
+class ControlFlowError(ErrorClass):
+    """Errors in branch/jump targets: PC corrupted at control-transfer points."""
+
+    name: str = "control-flow"
+
+    def enumerate(self, program: Program,
+                  pcs: Optional[Sequence[int]] = None) -> List[Injection]:
+        injections: List[Injection] = []
+        for pc in self._addresses(program, pcs):
+            instruction = program.fetch(pc)
+            if instruction is None:
+                continue
+            if instruction.category in (Category.BRANCH, Category.JUMP,
+                                        Category.CALL, Category.JUMP_REGISTER):
+                injections.append(Injection(
+                    breakpoint_pc=pc, target=Location.pc(),
+                    description="corrupted branch/jump target"))
+        return injections
+
+
+#: The pre-defined error categories offered by the query generator
+#: (Section 5, "Supporting Tools").
+STANDARD_ERROR_CLASSES: Dict[str, ErrorClass] = {
+    "register": RegisterFileError(),
+    "memory": MemoryError(),
+    "bus": BusError(),
+    "functional-unit": FunctionalUnitError(),
+    "decode": DecodeError(),
+    "fetch": FetchError(),
+    "control-flow": ControlFlowError(),
+}
+
+
+def error_class(name: str) -> ErrorClass:
+    """Look up a pre-defined error class by name."""
+    try:
+        return STANDARD_ERROR_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown error class {name!r}; available: "
+            f"{sorted(STANDARD_ERROR_CLASSES)}") from None

@@ -1,0 +1,132 @@
+"""Error-propagation rules for arithmetic (paper Section 5.2).
+
+The rules mirror the Maude equations of the error-propagation sub-model:
+
+.. code-block:: text
+
+    err + err = err      err + I = err      I + err = err
+    err - err = err      err - I = err      I - err = err
+    err * I   = if I == 0 then 0 else err
+    I   * err = if I == 0 then 0 else err
+    err / I   = if I == 0 then throw "div-zero" else err
+    I   / err = if isEqual(err, 0) then throw "div-zero" else err
+    err * err = if isEqual(err, 0) then 0 else err
+    err / err = if isEqual(err, 0) then throw "div-zero" else err
+
+Operations whose outcome depends on whether an ``err`` operand equals zero
+are *non-deterministic* (they require forking the execution); such cases are
+reported to the executor through :class:`NonDeterministicOperation` rather
+than being resolved here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..isa.values import ERR, Value, is_err
+
+
+@dataclass(frozen=True)
+class NonDeterministicOperation(Exception):
+    """Signals that an arithmetic operation needs a fork to be resolved.
+
+    Attributes:
+        reason: one of ``"divide_by_symbolic"`` (the divisor is ``err``) or
+            ``"multiply_symbolic"`` (both factors are ``err``: the result is 0
+            if the error value happens to be 0 and ``err`` otherwise).
+        operand_index: index (0 = left, 1 = right) of the symbolic operand
+            whose comparison with zero decides the outcome.
+    """
+
+    reason: str
+    operand_index: int
+
+
+def _concrete_div(left: int, right: int) -> int:
+    """Signed integer division truncating toward zero (C semantics)."""
+    quotient = abs(left) // abs(right)
+    return -quotient if (left < 0) != (right < 0) else quotient
+
+
+def _concrete_mod(left: int, right: int) -> int:
+    """C-style remainder consistent with :func:`_concrete_div`."""
+    return left - _concrete_div(left, right) * right
+
+
+_CONCRETE_OPS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mult": lambda a, b: a * b,
+    "div": _concrete_div,
+    "mod": _concrete_mod,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << b,
+    "srl": lambda a, b: a >> b,
+}
+
+#: Mapping from immediate-form opcodes to the underlying binary operator.
+IMMEDIATE_ALIASES: Dict[str, str] = {
+    "addi": "add", "subi": "sub", "multi": "mult", "divi": "div",
+    "modi": "mod", "ori": "or", "andi": "and", "xori": "xor",
+    "slli": "sll", "srli": "srl",
+}
+
+
+def concrete_binary(op: str, left: int, right: int) -> int:
+    """Apply a binary operator to two concrete integers."""
+    return _CONCRETE_OPS[op](left, right)
+
+
+def symbolic_binary(op: str, left: Value, right: Value) -> Value:
+    """Apply a binary operator under the error-propagation rules.
+
+    Returns the resulting value (an int or ``err``).  Raises
+    :class:`NonDeterministicOperation` when the result cannot be determined
+    without forking (division/modulo with a symbolic divisor, or
+    multiplication of two symbolic values), and ``ZeroDivisionError`` for a
+    concrete division by zero (the executor converts it into the machine's
+    ``div-zero`` exception).
+    """
+    operator = IMMEDIATE_ALIASES.get(op, op)
+    left_err = is_err(left)
+    right_err = is_err(right)
+
+    if not left_err and not right_err:
+        if operator in ("div", "mod") and right == 0:
+            raise ZeroDivisionError
+        return concrete_binary(operator, left, right)
+
+    if operator == "mult":
+        if left_err and right_err:
+            raise NonDeterministicOperation("multiply_symbolic", 1)
+        concrete = right if left_err else left
+        return 0 if concrete == 0 else ERR
+
+    if operator in ("div", "mod"):
+        if right_err:
+            raise NonDeterministicOperation("divide_by_symbolic", 1)
+        # left is err, right concrete
+        if right == 0:
+            raise ZeroDivisionError
+        return ERR
+
+    if operator in ("and", "mult"):
+        # ``x & 0 == 0`` regardless of the error value.
+        concrete = right if left_err else left
+        if not (left_err and right_err) and concrete == 0:
+            return 0
+        return ERR
+
+    if operator in ("sll", "srl") and left_err is False and right_err:
+        # Shifting by an unknown amount: result unknown unless the value is 0.
+        return 0 if left == 0 else ERR
+
+    return ERR
+
+
+def unary_result(value: Value) -> Value:
+    """Propagation for unary operations (negation, bitwise not)."""
+    return ERR if is_err(value) else value

@@ -1,0 +1,11 @@
+"""Front-end tools: the MIPS translator and the query generator."""
+
+from .mips import MIPS_REGISTERS, MipsTranslationError, MipsTranslator, translate_mips
+from .querygen import (GeneratedQuery, QUERY_KINDS, generate, generate_campaign,
+                       generate_query)
+
+__all__ = [
+    "MIPS_REGISTERS", "MipsTranslationError", "MipsTranslator", "translate_mips",
+    "GeneratedQuery", "QUERY_KINDS", "generate", "generate_campaign",
+    "generate_query",
+]

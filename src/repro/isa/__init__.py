@@ -1,0 +1,37 @@
+"""Generic SymPLFIED assembly language: values, instructions, programs, assembler."""
+
+from .values import ERR, ErrValue, Value, format_value, is_concrete, is_err, require_concrete
+from .instructions import (
+    ARITHMETIC_RRI,
+    ARITHMETIC_RRR,
+    COMPARE_RRI,
+    COMPARE_RRR,
+    Category,
+    INSTRUCTION_SET,
+    Instruction,
+    InstructionSpec,
+    InvalidInstructionError,
+    NUM_REGISTERS,
+    OperandKind,
+    RETURN_ADDRESS_REGISTER,
+    STACK_POINTER_REGISTER,
+    ZERO_REGISTER,
+    is_control_transfer,
+    make,
+    reads_memory,
+    writes_memory,
+)
+from .program import Program, ProgramBuilder, ProgramError
+from .parser import AssemblyError, assemble, assemble_lines, parse_instruction
+
+__all__ = [
+    "ERR", "ErrValue", "Value", "format_value", "is_concrete", "is_err",
+    "require_concrete",
+    "ARITHMETIC_RRI", "ARITHMETIC_RRR", "COMPARE_RRI", "COMPARE_RRR",
+    "Category", "INSTRUCTION_SET", "Instruction", "InstructionSpec",
+    "InvalidInstructionError", "NUM_REGISTERS", "OperandKind",
+    "RETURN_ADDRESS_REGISTER", "STACK_POINTER_REGISTER", "ZERO_REGISTER",
+    "is_control_transfer", "make", "reads_memory", "writes_memory",
+    "Program", "ProgramBuilder", "ProgramError",
+    "AssemblyError", "assemble", "assemble_lines", "parse_instruction",
+]

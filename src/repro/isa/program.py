@@ -1,0 +1,191 @@
+"""Program container and loader for SymPLFIED assembly programs.
+
+A :class:`Program` is an immutable sequence of instructions together with a
+label table mapping symbolic labels to code addresses.  Code addresses are
+simply instruction indices (0-based), which is how the machine model's
+program counter addresses code.
+
+The loader semantics follow the paper's machine-model assumptions
+(Section 5.1):
+
+* fetching from an address outside ``[0, len(code))`` raises an *illegal
+  instruction* condition (handled by the executor),
+* program instructions are immutable and cannot be overwritten,
+* the set of valid code addresses is fixed at load time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .instructions import Instruction, InvalidInstructionError, is_control_transfer
+
+
+class ProgramError(ValueError):
+    """Raised for malformed programs (duplicate labels, unknown targets...)."""
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: code, labels and optional per-line metadata.
+
+    Attributes:
+        code: tuple of instructions, indexed by code address.
+        labels: mapping from label name to code address.
+        source_lines: optional mapping from code address to the original
+            source line (used in traces and reports).
+        name: human-readable program name.
+    """
+
+    code: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+    source_lines: Dict[int, str] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        for label, address in self.labels.items():
+            if not (0 <= address <= len(self.code)):
+                raise ProgramError(f"label {label!r} points outside the program")
+        self._validate_targets()
+
+    def _validate_targets(self) -> None:
+        for address, instruction in enumerate(self.code):
+            try:
+                instruction.validate()
+            except InvalidInstructionError as exc:
+                raise ProgramError(f"address {address}: {exc}") from exc
+            for operand, kind in zip(instruction.operands, instruction.spec.signature):
+                if kind.value == "label" and operand not in self.labels:
+                    raise ProgramError(
+                        f"address {address}: unknown label {operand!r} "
+                        f"in {instruction.render()}")
+
+    # ------------------------------------------------------------------ access
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.code)
+
+    def __getitem__(self, address: int) -> Instruction:
+        return self.code[address]
+
+    def is_valid_address(self, address: object) -> bool:
+        """True if *address* is a valid code address for fetching."""
+        return isinstance(address, int) and not isinstance(address, bool) \
+            and 0 <= address < len(self.code)
+
+    def fetch(self, address: int) -> Optional[Instruction]:
+        """Return the instruction at *address*, or None if out of range."""
+        if self.is_valid_address(address):
+            return self.code[address]
+        return None
+
+    def resolve(self, label: str) -> int:
+        """Return the code address of *label*."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise ProgramError(f"unknown label {label!r}") from None
+
+    def label_addresses(self) -> Tuple[int, ...]:
+        """All code addresses that carry a label (sorted, deduplicated)."""
+        return tuple(sorted(set(self.labels.values())))
+
+    def labels_at(self, address: int) -> Tuple[str, ...]:
+        """Labels attached to a given code address."""
+        return tuple(sorted(name for name, addr in self.labels.items() if addr == address))
+
+    def control_transfer_targets(self) -> Tuple[int, ...]:
+        """Addresses that are statically reachable as control-transfer targets.
+
+        Used by the control-error sub-model when the fork domain is
+        restricted to "plausible" targets instead of every code address.
+        """
+        targets = set(self.labels.values())
+        for address, instruction in enumerate(self.code):
+            if is_control_transfer(instruction):
+                if address + 1 < len(self.code):
+                    targets.add(address + 1)  # return points / fall-through
+        return tuple(sorted(t for t in targets if 0 <= t < len(self.code)))
+
+    def source_line(self, address: int) -> str:
+        """Original assembly text for the instruction at *address*."""
+        return self.source_lines.get(address, self.code[address].render())
+
+    def render(self) -> str:
+        """Render the whole program back to assembly text."""
+        by_address: Dict[int, List[str]] = {}
+        for label, address in self.labels.items():
+            by_address.setdefault(address, []).append(label)
+        lines: List[str] = []
+        for address, instruction in enumerate(self.code):
+            for label in sorted(by_address.get(address, [])):
+                lines.append(f"{label}:")
+            lines.append(f"    {instruction.render()}")
+        for label in sorted(by_address.get(len(self.code), [])):
+            lines.append(f"{label}:")
+        return "\n".join(lines) + "\n"
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return (f"{self.name}: {len(self.code)} instructions, "
+                f"{len(self.labels)} labels")
+
+
+class ProgramBuilder:
+    """Incremental builder used by the assembler and the minic code generator."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._code: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._source_lines: Dict[int, str] = {}
+        self._pending_labels: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._code)
+
+    @property
+    def next_address(self) -> int:
+        return len(self._code)
+
+    def label(self, name: str) -> None:
+        """Attach *name* to the next emitted instruction."""
+        if name in self._labels or name in self._pending_labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        self._pending_labels.append(name)
+
+    def emit(self, instruction: Instruction, source: Optional[str] = None) -> int:
+        """Append an instruction, returning its code address."""
+        address = len(self._code)
+        for name in self._pending_labels:
+            self._labels[name] = address
+        self._pending_labels.clear()
+        self._code.append(instruction)
+        if source is not None:
+            self._source_lines[address] = source
+        return address
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        for instruction in instructions:
+            self.emit(instruction)
+
+    def has_label(self, name: str) -> bool:
+        return name in self._labels or name in self._pending_labels
+
+    def build(self) -> Program:
+        """Finalise the program.
+
+        Trailing labels are attached to the end-of-code address, which is
+        legal for branch targets that fall off the end (the executor treats a
+        fetch from that address as program termination by convention only if
+        a ``halt`` was executed; otherwise it is an illegal instruction).
+        """
+        labels = dict(self._labels)
+        for name in self._pending_labels:
+            labels[name] = len(self._code)
+        return Program(code=tuple(self._code), labels=labels,
+                       source_lines=dict(self._source_lines), name=self.name)

@@ -1,0 +1,91 @@
+"""Value domain for the SymPLFIED machine.
+
+The machine operates on two kinds of values:
+
+* ordinary (unbounded) Python integers, and
+* the single abstract error symbol ``ERR``.
+
+The paper (Section 3.2) collapses *every* erroneous value -- single- and
+multi-bit corruptions of registers, memory words, bus transfers and
+functional-unit outputs -- into one symbolic constant ``err``.  States are
+therefore distinguished by *where* the error lives, not by which concrete
+value it took, which is what keeps the search space tractable.
+
+This module defines the ``ErrValue`` sentinel, the ``Value`` union used in
+type annotations throughout the code base, and small helpers shared by the
+machine model, the error-propagation rules and the detector runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class ErrValue:
+    """The abstract symbol ``err`` representing any erroneous value.
+
+    A single shared instance, :data:`ERR`, is used everywhere.  Equality is
+    identity-based on purpose: asking whether ``err == err`` is a
+    *non-deterministic* question in SymPLFIED (handled by the comparison
+    sub-model), so ``ErrValue`` deliberately refuses to answer it through
+    Python's ``==`` by always comparing by identity.
+    """
+
+    __slots__ = ()
+
+    _instance: "ErrValue" = None
+
+    def __new__(cls) -> "ErrValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "err"
+
+    def __str__(self) -> str:
+        return "err"
+
+    def __hash__(self) -> int:
+        return hash("SymPLFIED-err")
+
+    def __deepcopy__(self, memo) -> "ErrValue":
+        return self
+
+    def __copy__(self) -> "ErrValue":
+        return self
+
+
+#: The single error symbol shared by the whole framework.
+ERR = ErrValue()
+
+#: A machine value: an unbounded integer or the error symbol.
+Value = Union[int, ErrValue]
+
+
+def is_err(value: Value) -> bool:
+    """Return True if *value* is the abstract error symbol."""
+    return value is ERR
+
+
+def is_concrete(value: Value) -> bool:
+    """Return True if *value* is an ordinary integer."""
+    return isinstance(value, int) and not isinstance(value, bool) and value is not ERR
+
+
+def require_concrete(value: Value, context: str = "value") -> int:
+    """Return *value* as an int, raising ``TypeError`` if it is ``err``.
+
+    Used in code paths that must never see a symbolic value (for example the
+    concrete SimpleScalar-substitute simulator).
+    """
+    if is_err(value):
+        raise TypeError(f"symbolic err encountered where a concrete {context} is required")
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{context} must be an int, got {type(value).__name__}")
+    return value
+
+
+def format_value(value: Value) -> str:
+    """Human-readable rendering used by traces and output streams."""
+    return "err" if is_err(value) else str(value)

@@ -1,0 +1,23 @@
+"""Compiler facade: minic source text -> :class:`CompiledProgram`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .codegen import CodeGenerator, CompiledProgram, CompileError
+from .parser import ParseError, parse_source
+
+
+def compile_source(source: str, name: str = "minic",
+                   entry_function: str = "main") -> CompiledProgram:
+    """Compile minic *source* into a SymPLFIED program plus its data segment.
+
+    Raises :class:`~repro.lang.lexer.LexerError`,
+    :class:`~repro.lang.parser.ParseError` or
+    :class:`~repro.lang.codegen.CompileError` on invalid input.
+    """
+    unit = parse_source(source)
+    generator = CodeGenerator(unit, name=name, entry_function=entry_function)
+    compiled = generator.compile()
+    compiled.source = source
+    return compiled

@@ -1,0 +1,134 @@
+"""Lexer for *minic*, the small C-like language used to write workloads.
+
+The paper's workloads (tcas, replace) are C programs compiled to MIPS and
+then translated into SymPLFIED's assembly language.  Offline we have no C
+compiler targeting MIPS, so the repository ships *minic*: a small, C-like
+language (integers only, global arrays, functions, ``if``/``while``,
+short-circuit ``&&``/``||``) whose compiler targets the SymPLFIED ISA
+directly, producing the same kind of code a simple C compiler would —
+a call stack in memory, a return-address register, compiler-generated labels
+and branches.  That is the property the paper's experiments rely on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+
+class LexerError(ValueError):
+    """Raised on malformed minic source."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+#: Token types produced by the lexer.
+KEYWORDS = frozenset({
+    "int", "void", "if", "else", "while", "return", "const",
+    "print", "prints", "read", "check", "break", "continue",
+})
+
+SYMBOLS = (
+    "&&", "||", "==", "!=", "<=", ">=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: str      # "keyword" | "identifier" | "number" | "string" | "symbol" | "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"\d+")
+_STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+_CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)'")
+
+
+def _unescape(body: str) -> str:
+    return (body.replace("\\n", "\n").replace("\\t", "\t")
+            .replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+            .replace("\\0", "\0"))
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize minic *source* into a list of tokens (ending with ``eof``)."""
+    tokens: List[Token] = []
+    line = 1
+    position = 0
+    length = len(source)
+
+    while position < length:
+        char = source[position]
+
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char.isspace():
+            position += 1
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end == -1 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position)
+            if end == -1:
+                raise LexerError("unterminated block comment", line)
+            line += source.count("\n", position, end)
+            position = end + 2
+            continue
+
+        if char == '"':
+            match = _STRING_RE.match(source, position)
+            if match is None:
+                raise LexerError("unterminated string literal", line)
+            tokens.append(Token("string", _unescape(match.group(0)[1:-1]), line))
+            position = match.end()
+            continue
+
+        if char == "'":
+            match = _CHAR_RE.match(source, position)
+            if match is None:
+                raise LexerError("bad character literal", line)
+            body = _unescape(match.group(0)[1:-1])
+            tokens.append(Token("number", str(ord(body)), line))
+            position = match.end()
+            continue
+
+        if char.isdigit():
+            match = _NUMBER_RE.match(source, position)
+            tokens.append(Token("number", match.group(0), line))
+            position = match.end()
+            continue
+
+        if char.isalpha() or char == "_":
+            match = _IDENTIFIER_RE.match(source, position)
+            text = match.group(0)
+            kind = "keyword" if text in KEYWORDS else "identifier"
+            tokens.append(Token(kind, text, line))
+            position = match.end()
+            continue
+
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, position):
+                tokens.append(Token("symbol", symbol, line))
+                position += len(symbol)
+                break
+        else:
+            raise LexerError(f"unexpected character {char!r}", line)
+
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,169 @@
+"""Abstract syntax tree of the minic language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ------------------------------------------------------------------ expressions
+
+class Expr:
+    """Base class of expression nodes."""
+
+
+@dataclass(frozen=True)
+class NumberLiteral(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayIndex(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    name: str
+    arguments: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    operator: str            # "-" or "!"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    operator: str            # + - * / % < > <= >= == != && ||
+    left: Expr
+    right: Expr
+
+
+# ------------------------------------------------------------------- statements
+
+class Stmt:
+    """Base class of statement nodes."""
+
+
+@dataclass(frozen=True)
+class LocalDecl(Stmt):
+    name: str
+    initializer: Optional[Expr]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: Expr              # Identifier or ArrayIndex
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr
+    body: Tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Print(Stmt):
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PrintString(Stmt):
+    text: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Read(Stmt):
+    target: Expr              # Identifier or ArrayIndex
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Check(Stmt):
+    detector_id: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expression: Expr
+    line: int = 0
+
+
+# ------------------------------------------------------------------ declarations
+
+@dataclass(frozen=True)
+class GlobalVar:
+    name: str
+    size: int = 1                       # 1 for scalars, N for arrays
+    initializer: Tuple[int, ...] = ()
+    is_array: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ConstDef:
+    name: str
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    parameters: Tuple[str, ...]
+    body: Tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TranslationUnit:
+    """A parsed minic source file."""
+
+    constants: Tuple[ConstDef, ...]
+    globals: Tuple[GlobalVar, ...]
+    functions: Tuple[Function, ...]
+
+    def function(self, name: str) -> Optional[Function]:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None

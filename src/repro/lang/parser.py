@@ -1,0 +1,357 @@
+"""Recursive-descent parser for minic.
+
+Grammar (informal)::
+
+    unit        := (const | global | function)*
+    const       := "const" IDENT "=" ["-"] NUMBER ";"
+    global      := "int" IDENT ("[" NUMBER "]")? ("=" init)? ";"
+    init        := expr | "{" NUMBER ("," NUMBER)* "}"
+    function    := ("int" | "void") IDENT "(" params? ")" block
+    params      := "int" IDENT ("," "int" IDENT)*
+    block       := "{" stmt* "}"
+    stmt        := "int" IDENT ("=" expr)? ";"
+                 | "if" "(" expr ")" stmt-or-block ("else" stmt-or-block)?
+                 | "while" "(" expr ")" stmt-or-block
+                 | "return" expr? ";"
+                 | "break" ";" | "continue" ";"
+                 | "print" "(" expr ")" ";"
+                 | "prints" "(" STRING ")" ";"
+                 | "read" "(" lvalue ")" ";"
+                 | "check" "(" NUMBER ")" ";"
+                 | lvalue "=" expr ";"
+                 | expr ";"
+    expr        := or-expr
+    or-expr     := and-expr ("||" and-expr)*
+    and-expr    := cmp-expr ("&&" cmp-expr)*
+    cmp-expr    := add-expr (("=="|"!="|"<"|">"|"<="|">=") add-expr)?
+    add-expr    := mul-expr (("+"|"-") mul-expr)*
+    mul-expr    := unary (("*"|"/"|"%") unary)*
+    unary       := ("-"|"!") unary | postfix
+    postfix     := primary ("[" expr "]")*
+    primary     := NUMBER | IDENT | IDENT "(" args? ")" | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .lexer import Token, tokenize
+from .nodes import (ArrayIndex, Assign, Binary, Break, Call, Check, ConstDef,
+                    Continue, Expr, ExprStmt, Function, GlobalVar, Identifier,
+                    If, LocalDecl, NumberLiteral, Print, PrintString, Read,
+                    Return, Stmt, TranslationUnit, Unary, While)
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid minic source."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------- primitives
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            expected = text if text is not None else kind
+            raise ParseError(f"expected {expected!r}", self.peek())
+        return self.advance()
+
+    # ------------------------------------------------------------------- unit
+
+    def parse_unit(self) -> TranslationUnit:
+        constants: List[ConstDef] = []
+        globals_: List[GlobalVar] = []
+        functions: List[Function] = []
+        while not self.check("eof"):
+            if self.check("keyword", "const"):
+                constants.append(self.parse_const())
+            elif self.check("keyword", "int") or self.check("keyword", "void"):
+                # Distinguish "int name (" (function) from "int name ..." (global).
+                if self.peek(2).kind == "symbol" and self.peek(2).text == "(":
+                    functions.append(self.parse_function())
+                else:
+                    globals_.append(self.parse_global())
+            else:
+                raise ParseError("expected a declaration", self.peek())
+        return TranslationUnit(constants=tuple(constants), globals=tuple(globals_),
+                               functions=tuple(functions))
+
+    def parse_const(self) -> ConstDef:
+        line = self.expect("keyword", "const").line
+        name = self.expect("identifier").text
+        self.expect("symbol", "=")
+        negative = self.accept("symbol", "-") is not None
+        value = int(self.expect("number").text)
+        self.expect("symbol", ";")
+        return ConstDef(name=name, value=-value if negative else value, line=line)
+
+    def parse_global(self) -> GlobalVar:
+        line = self.expect("keyword", "int").line
+        name = self.expect("identifier").text
+        size = 1
+        is_array = False
+        if self.accept("symbol", "["):
+            size = int(self.expect("number").text)
+            self.expect("symbol", "]")
+            is_array = True
+        initializer: Tuple[int, ...] = ()
+        if self.accept("symbol", "="):
+            if self.accept("symbol", "{"):
+                values = [self.parse_signed_number()]
+                while self.accept("symbol", ","):
+                    values.append(self.parse_signed_number())
+                self.expect("symbol", "}")
+                initializer = tuple(values)
+            else:
+                initializer = (self.parse_signed_number(),)
+        self.expect("symbol", ";")
+        return GlobalVar(name=name, size=size, initializer=initializer,
+                         is_array=is_array, line=line)
+
+    def parse_signed_number(self) -> int:
+        negative = self.accept("symbol", "-") is not None
+        value = int(self.expect("number").text)
+        return -value if negative else value
+
+    def parse_function(self) -> Function:
+        token = self.advance()  # "int" or "void"
+        line = token.line
+        name = self.expect("identifier").text
+        self.expect("symbol", "(")
+        parameters: List[str] = []
+        if not self.check("symbol", ")"):
+            while True:
+                self.expect("keyword", "int")
+                parameters.append(self.expect("identifier").text)
+                if not self.accept("symbol", ","):
+                    break
+        self.expect("symbol", ")")
+        body = self.parse_block()
+        return Function(name=name, parameters=tuple(parameters), body=body, line=line)
+
+    # -------------------------------------------------------------- statements
+
+    def parse_block(self) -> Tuple[Stmt, ...]:
+        self.expect("symbol", "{")
+        statements: List[Stmt] = []
+        while not self.check("symbol", "}"):
+            statements.append(self.parse_statement())
+        self.expect("symbol", "}")
+        return tuple(statements)
+
+    def parse_statement_or_block(self) -> Tuple[Stmt, ...]:
+        if self.check("symbol", "{"):
+            return self.parse_block()
+        return (self.parse_statement(),)
+
+    def parse_statement(self) -> Stmt:
+        token = self.peek()
+
+        if self.check("keyword", "int"):
+            self.advance()
+            name = self.expect("identifier").text
+            initializer = None
+            if self.accept("symbol", "="):
+                initializer = self.parse_expression()
+            self.expect("symbol", ";")
+            return LocalDecl(name=name, initializer=initializer, line=token.line)
+
+        if self.check("keyword", "if"):
+            self.advance()
+            self.expect("symbol", "(")
+            condition = self.parse_expression()
+            self.expect("symbol", ")")
+            then_body = self.parse_statement_or_block()
+            else_body: Tuple[Stmt, ...] = ()
+            if self.accept("keyword", "else"):
+                else_body = self.parse_statement_or_block()
+            return If(condition=condition, then_body=then_body,
+                      else_body=else_body, line=token.line)
+
+        if self.check("keyword", "while"):
+            self.advance()
+            self.expect("symbol", "(")
+            condition = self.parse_expression()
+            self.expect("symbol", ")")
+            body = self.parse_statement_or_block()
+            return While(condition=condition, body=body, line=token.line)
+
+        if self.check("keyword", "return"):
+            self.advance()
+            value = None
+            if not self.check("symbol", ";"):
+                value = self.parse_expression()
+            self.expect("symbol", ";")
+            return Return(value=value, line=token.line)
+
+        if self.check("keyword", "break"):
+            self.advance()
+            self.expect("symbol", ";")
+            return Break(line=token.line)
+
+        if self.check("keyword", "continue"):
+            self.advance()
+            self.expect("symbol", ";")
+            return Continue(line=token.line)
+
+        if self.check("keyword", "print"):
+            self.advance()
+            self.expect("symbol", "(")
+            value = self.parse_expression()
+            self.expect("symbol", ")")
+            self.expect("symbol", ";")
+            return Print(value=value, line=token.line)
+
+        if self.check("keyword", "prints"):
+            self.advance()
+            self.expect("symbol", "(")
+            text = self.expect("string").text
+            self.expect("symbol", ")")
+            self.expect("symbol", ";")
+            return PrintString(text=text, line=token.line)
+
+        if self.check("keyword", "read"):
+            self.advance()
+            self.expect("symbol", "(")
+            target = self.parse_expression()
+            self.expect("symbol", ")")
+            self.expect("symbol", ";")
+            if not isinstance(target, (Identifier, ArrayIndex)):
+                raise ParseError("read() needs a variable or array element", token)
+            return Read(target=target, line=token.line)
+
+        if self.check("keyword", "check"):
+            self.advance()
+            self.expect("symbol", "(")
+            detector_id = int(self.expect("number").text)
+            self.expect("symbol", ")")
+            self.expect("symbol", ";")
+            return Check(detector_id=detector_id, line=token.line)
+
+        # Assignment or expression statement.
+        expression = self.parse_expression()
+        if self.accept("symbol", "="):
+            if not isinstance(expression, (Identifier, ArrayIndex)):
+                raise ParseError("invalid assignment target", token)
+            value = self.parse_expression()
+            self.expect("symbol", ";")
+            return Assign(target=expression, value=value, line=token.line)
+        self.expect("symbol", ";")
+        return ExprStmt(expression=expression, line=token.line)
+
+    # ------------------------------------------------------------- expressions
+
+    def parse_expression(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.check("symbol", "||"):
+            self.advance()
+            right = self.parse_and()
+            left = Binary("||", left, right)
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_comparison()
+        while self.check("symbol", "&&"):
+            self.advance()
+            right = self.parse_comparison()
+            left = Binary("&&", left, right)
+        return left
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        if self.peek().kind == "symbol" and self.peek().text in (
+                "==", "!=", "<", ">", "<=", ">="):
+            operator = self.advance().text
+            right = self.parse_additive()
+            return Binary(operator, left, right)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.peek().kind == "symbol" and self.peek().text in ("+", "-"):
+            operator = self.advance().text
+            right = self.parse_multiplicative()
+            left = Binary(operator, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.peek().kind == "symbol" and self.peek().text in ("*", "/", "%"):
+            operator = self.advance().text
+            right = self.parse_unary()
+            left = Binary(operator, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.peek().kind == "symbol" and self.peek().text in ("-", "!"):
+            operator = self.advance().text
+            operand = self.parse_unary()
+            return Unary(operator, operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expression = self.parse_primary()
+        while self.check("symbol", "["):
+            self.advance()
+            index = self.parse_expression()
+            self.expect("symbol", "]")
+            expression = ArrayIndex(base=expression, index=index)
+        return expression
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return NumberLiteral(int(token.text))
+        if token.kind == "identifier":
+            self.advance()
+            if self.check("symbol", "("):
+                self.advance()
+                arguments: List[Expr] = []
+                if not self.check("symbol", ")"):
+                    arguments.append(self.parse_expression())
+                    while self.accept("symbol", ","):
+                        arguments.append(self.parse_expression())
+                self.expect("symbol", ")")
+                return Call(name=token.text, arguments=tuple(arguments))
+            return Identifier(token.text)
+        if self.check("symbol", "("):
+            self.advance()
+            expression = self.parse_expression()
+            self.expect("symbol", ")")
+            return expression
+        raise ParseError("expected an expression", token)
+
+
+def parse_source(source: str) -> TranslationUnit:
+    """Parse minic *source* into a translation unit."""
+    return Parser(tokenize(source)).parse_unit()

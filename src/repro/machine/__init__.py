@@ -1,0 +1,16 @@
+"""Machine model: state, execution semantics and exceptional conditions."""
+
+from .exceptions import (DETECTOR_PREFIX, DIVIDE_BY_ZERO, ILLEGAL_ADDRESS,
+                         ILLEGAL_INSTRUCTION, INPUT_EXHAUSTED, MachineModelError,
+                         TIMED_OUT, detector_exception)
+from .state import MachineState, Status, TraceEntry, initial_state
+from .executor import (ExecutionConfig, Executor, SymbolicValueEncountered,
+                       concrete_step, run_concrete, run_concrete_until)
+
+__all__ = [
+    "DETECTOR_PREFIX", "DIVIDE_BY_ZERO", "ILLEGAL_ADDRESS", "ILLEGAL_INSTRUCTION",
+    "INPUT_EXHAUSTED", "MachineModelError", "TIMED_OUT", "detector_exception",
+    "MachineState", "Status", "TraceEntry", "initial_state",
+    "ExecutionConfig", "Executor", "SymbolicValueEncountered",
+    "concrete_step", "run_concrete", "run_concrete_until",
+]

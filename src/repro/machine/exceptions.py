@@ -1,0 +1,43 @@
+"""Machine-level exceptional conditions.
+
+The paper's machine model terminates a program abnormally in a small number
+of well-defined ways (Sections 5.1, 5.2 and 5.4).  Each is represented here
+by a symbolic name carried in the machine state's ``exception`` field when
+the state's status becomes ``EXCEPTION`` (crash), ``DETECTED`` (a detector
+fired) or ``TIMEOUT`` (the watchdog bound was exceeded).
+"""
+
+from __future__ import annotations
+
+
+#: Fetch from an invalid code address, or an erroneous jump/branch target.
+ILLEGAL_INSTRUCTION = "illegal instruction"
+
+#: Load or store through an invalid/undefined memory address.
+ILLEGAL_ADDRESS = "illegal address"
+
+#: Integer division (or modulo) by zero.
+DIVIDE_BY_ZERO = "div-zero"
+
+#: ``read`` executed with an exhausted input stream.
+INPUT_EXHAUSTED = "input exhausted"
+
+#: Watchdog bound on executed instructions exceeded (Section 5.4).
+TIMED_OUT = "timed out"
+
+#: Prefix used for exceptions raised by failing detectors.
+DETECTOR_PREFIX = "detector"
+
+
+def detector_exception(detector_id: int) -> str:
+    """Exception message recorded when detector *detector_id* fires."""
+    return f"{DETECTOR_PREFIX} {detector_id} failed"
+
+
+class MachineModelError(RuntimeError):
+    """Raised for internal misuse of the machine model (not program errors).
+
+    Program-level failures (crashes, detections, timeouts) are represented in
+    the machine state itself; this exception signals bugs such as stepping a
+    state that has already terminated.
+    """

@@ -1,0 +1,635 @@
+"""Execution semantics of the SymPLFIED machine.
+
+Two interpreters live here:
+
+* :class:`Executor` — the full symbolic semantics.  ``step`` maps one machine
+  state to the *list* of its successor states: deterministic instructions
+  yield exactly one successor, while instructions whose outcome depends on an
+  ``err`` value (comparisons, branches, loads/stores through a corrupted
+  pointer, jumps through a corrupted target, division by a corrupted value)
+  yield one successor per feasible resolution, with the constraint map
+  updated so that later comparisons over the same location stay consistent.
+  This is the Python rendition of the paper's Maude equations (deterministic
+  machine model) plus rewrite rules (non-deterministic error model).
+
+* :func:`concrete_step` / :func:`run_concrete` — a lean, mutating
+  interpreter for fully concrete states.  It implements the same machine
+  semantics without any symbolic machinery and is used for the deterministic
+  prefix before an injection point and by the SimpleScalar-substitute
+  simulator in :mod:`repro.concrete`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..constraints import ComparisonOp, ConstraintMap, Location
+from ..detectors import DetectorSet, EMPTY_DETECTORS, execute_detector
+from ..errors.comparison import resolve_comparison
+from ..errors.propagation import (IMMEDIATE_ALIASES, NonDeterministicOperation,
+                                  concrete_binary, symbolic_binary)
+from ..isa.instructions import Category, Instruction, RETURN_ADDRESS_REGISTER
+from ..isa.program import Program
+from ..isa.values import ERR, Value, is_err
+from .exceptions import (DIVIDE_BY_ZERO, ILLEGAL_ADDRESS, ILLEGAL_INSTRUCTION,
+                         INPUT_EXHAUSTED, MachineModelError, TIMED_OUT,
+                         detector_exception)
+from .state import MachineState, Status
+
+
+#: Comparison operator implemented by each comparison-setter opcode.
+_COMPARE_OPS: Dict[str, ComparisonOp] = {
+    "seteq": ComparisonOp.EQ, "setne": ComparisonOp.NE,
+    "setgt": ComparisonOp.GT, "setlt": ComparisonOp.LT,
+    "setge": ComparisonOp.GE, "setle": ComparisonOp.LE,
+}
+
+
+@dataclass
+class ExecutionConfig:
+    """Tunable parameters of the symbolic execution and error semantics.
+
+    Attributes:
+        max_steps: watchdog bound on executed instructions (paper Section 5.4);
+            exceeding it marks the state as ``TIMEOUT`` (a hang).
+        control_fork_domain: where an erroneous jump/branch target or PC may
+            land — ``"labels"`` (label addresses only), ``"targets"``
+            (statically plausible control-transfer targets), ``"all"`` (every
+            valid code address, the paper's literal semantics) or
+            ``"exception_only"`` (only the illegal-instruction outcome).
+        max_control_forks: cap on the number of forked landing sites.
+        memory_fork_domain: where an erroneous load/store address may point —
+            ``"known"`` (currently defined memory words) or
+            ``"exception_only"``.
+        max_memory_forks: cap on the number of forked memory locations.
+        prune_unsatisfiable: whether the constraint solver prunes infeasible
+            branches (turning this off is the paper's implicit baseline and is
+            exercised by the ablation benchmark).
+        record_trace: whether to append a human-readable trace entry per step.
+    """
+
+    max_steps: int = 20_000
+    control_fork_domain: str = "labels"
+    max_control_forks: int = 128
+    memory_fork_domain: str = "known"
+    max_memory_forks: int = 16
+    prune_unsatisfiable: bool = True
+    record_trace: bool = False
+
+
+class SymbolicValueEncountered(MachineModelError):
+    """Raised by the concrete interpreter when it meets an ``err`` value."""
+
+
+class Executor:
+    """Symbolic executor for one program (plus its detectors)."""
+
+    def __init__(self, program: Program,
+                 detectors: DetectorSet = EMPTY_DETECTORS,
+                 config: Optional[ExecutionConfig] = None) -> None:
+        self.program = program
+        self.detectors = detectors
+        self.config = config or ExecutionConfig()
+
+    # ------------------------------------------------------------------- step
+
+    def step(self, state: MachineState) -> List[MachineState]:
+        """Execute one instruction, returning every feasible successor state."""
+        if not state.is_running:
+            raise MachineModelError("cannot step a terminated state")
+
+        if state.steps >= self.config.max_steps:
+            timed_out = state.copy()
+            timed_out.time_out(TIMED_OUT)
+            return [timed_out]
+
+        if is_err(state.pc):
+            return self._control_error_successors(state, note="fetch with corrupted PC")
+
+        instruction = self.program.fetch(state.pc)
+        if instruction is None:
+            crashed = state.copy()
+            crashed.throw(ILLEGAL_INSTRUCTION)
+            return [crashed]
+
+        handler = self._HANDLERS[instruction.category]
+        successors = handler(self, state, instruction)
+
+        if self.config.prune_unsatisfiable:
+            successors = [s for s in successors if s.constraints.satisfiable()]
+        for successor in successors:
+            successor.steps = state.steps + 1
+            if self.config.record_trace:
+                successor.trace.append(_trace_entry(state, instruction, successor))
+        return successors
+
+    def run(self, state: MachineState,
+            max_states: int = 1_000_000) -> List[MachineState]:
+        """Exhaustively run *state* to termination, returning all final states.
+
+        Convenience wrapper mostly used by tests and examples; the model
+        checker in :mod:`repro.core.search` offers the full search interface.
+        """
+        frontier = [state]
+        finals: List[MachineState] = []
+        explored = 0
+        while frontier:
+            current = frontier.pop()
+            for successor in self.step(current):
+                explored += 1
+                if explored > max_states:
+                    raise MachineModelError("state budget exhausted in Executor.run")
+                if successor.is_running:
+                    frontier.append(successor)
+                else:
+                    finals.append(successor)
+        return finals
+
+    # ------------------------------------------------------------ base helpers
+
+    def _base(self, state: MachineState) -> MachineState:
+        return state.copy()
+
+    def _advance(self, state: MachineState) -> MachineState:
+        state.pc = state.pc + 1
+        return state
+
+    def _crash(self, state: MachineState, message: str) -> MachineState:
+        crashed = state.copy()
+        crashed.throw(message)
+        return crashed
+
+    def _register_value(self, state: MachineState, number: int
+                        ) -> Tuple[Value, Optional[Location]]:
+        value = state.read_register(number)
+        location = Location.register(number) if is_err(value) else None
+        return value, location
+
+    # --------------------------------------------------------------- handlers
+
+    def _execute_arithmetic(self, state: MachineState,
+                            instruction: Instruction) -> List[MachineState]:
+        rd, rs = instruction.operands[0], instruction.operands[1]
+        left = state.read_register(rs)
+        third = instruction.operands[2]
+        if instruction.spec.signature[2].value == "reg":
+            right = state.read_register(third)
+            right_location = Location.register(third) if is_err(right) else None
+        else:
+            right = third
+            right_location = None
+
+        try:
+            result = symbolic_binary(instruction.opcode, left, right)
+        except ZeroDivisionError:
+            return [self._crash(state, DIVIDE_BY_ZERO)]
+        except NonDeterministicOperation as operation:
+            return self._resolve_nondeterministic_arithmetic(
+                state, instruction, left, right, right_location, operation)
+
+        successor = self._base(state)
+        successor.write_register(rd, result)
+        return [self._advance(successor)]
+
+    def _resolve_nondeterministic_arithmetic(
+            self, state: MachineState, instruction: Instruction,
+            left: Value, right: Value, right_location: Optional[Location],
+            operation: NonDeterministicOperation) -> List[MachineState]:
+        """Fork on whether the symbolic operand equals zero (Section 5.2 rules)."""
+        rd = instruction.operands[0]
+        operator = IMMEDIATE_ALIASES.get(instruction.opcode, instruction.opcode)
+        outcomes = resolve_comparison(
+            state.constraints, ComparisonOp.EQ, right, 0,
+            left_location=right_location, right_location=None)
+        successors: List[MachineState] = []
+        for outcome in outcomes:
+            branch = self._base(state)
+            branch.constraints = outcome.constraints
+            if outcome.result:  # the symbolic operand is zero
+                if operator in ("div", "mod"):
+                    branch.throw(DIVIDE_BY_ZERO)
+                    successors.append(branch)
+                    continue
+                branch.write_register(rd, 0)
+            else:
+                branch.write_register(rd, ERR)
+            successors.append(self._advance(branch))
+        return successors
+
+    def _execute_compare(self, state: MachineState,
+                         instruction: Instruction) -> List[MachineState]:
+        rd, rs = instruction.operands[0], instruction.operands[1]
+        opcode = instruction.opcode[:-1] if instruction.opcode.endswith("i") \
+            and instruction.opcode not in _COMPARE_OPS else instruction.opcode
+        op = _COMPARE_OPS[opcode]
+        left, left_location = self._register_value(state, rs)
+        third = instruction.operands[2]
+        if instruction.spec.signature[2].value == "reg":
+            right, right_location = self._register_value(state, third)
+        else:
+            right, right_location = third, None
+
+        outcomes = resolve_comparison(state.constraints, op, left, right,
+                                      left_location, right_location)
+        successors: List[MachineState] = []
+        for outcome in outcomes:
+            branch = self._base(state)
+            branch.constraints = outcome.constraints
+            branch.write_register(rd, 1 if outcome.result else 0)
+            if outcome.forked:
+                branch.forks += 1
+            successors.append(self._advance(branch))
+        return successors
+
+    def _execute_move(self, state: MachineState,
+                      instruction: Instruction) -> List[MachineState]:
+        successor = self._base(state)
+        rd = instruction.operands[0]
+        if instruction.opcode == "mov":
+            rs = instruction.operands[1]
+            value = state.read_register(rs)
+            successor.write_register(
+                rd, value,
+                transfer_from=Location.register(rs) if is_err(value) else None)
+        else:  # li
+            successor.write_register(rd, instruction.operands[1])
+        return [self._advance(successor)]
+
+    def _execute_load(self, state: MachineState,
+                      instruction: Instruction) -> List[MachineState]:
+        rt, rs, offset = instruction.operands
+        base = state.read_register(rs)
+        if is_err(base):
+            return self._memory_error_loads(state, rt)
+        address = base + offset
+        if not state.is_defined_address(address):
+            return [self._crash(state, ILLEGAL_ADDRESS)]
+        value = state.read_memory(address)
+        successor = self._base(state)
+        successor.write_register(
+            rt, value,
+            transfer_from=Location.memory(address) if is_err(value) else None)
+        return [self._advance(successor)]
+
+    def _memory_error_loads(self, state: MachineState, rt: int) -> List[MachineState]:
+        """Load through a corrupted pointer: arbitrary location or exception."""
+        successors: List[MachineState] = [self._crash(state, ILLEGAL_ADDRESS)]
+        if self.config.memory_fork_domain == "known":
+            for address in self._memory_fork_addresses(state):
+                branch = self._base(state)
+                value = branch.read_memory(address)
+                branch.write_register(
+                    rt, value,
+                    transfer_from=Location.memory(address) if is_err(value) else None)
+                branch.forks += 1
+                successors.append(self._advance(branch))
+        return successors
+
+    def _execute_store(self, state: MachineState,
+                       instruction: Instruction) -> List[MachineState]:
+        rt, rs, offset = instruction.operands
+        value = state.read_register(rt)
+        value_location = Location.register(rt) if is_err(value) else None
+        base = state.read_register(rs)
+        if is_err(base):
+            return self._memory_error_stores(state, value, value_location)
+        address = base + offset
+        successor = self._base(state)
+        successor.write_memory(address, value, transfer_from=value_location)
+        return [self._advance(successor)]
+
+    def _memory_error_stores(self, state: MachineState, value: Value,
+                             value_location: Optional[Location]) -> List[MachineState]:
+        """Store through a corrupted pointer: overwrite an arbitrary location
+        or create a new value in memory (paper Section 5.2)."""
+        successors: List[MachineState] = []
+        fresh_address = max(state.memory) + 1 if state.memory else 0
+        fresh = self._base(state)
+        fresh.write_memory(fresh_address, value, transfer_from=value_location)
+        fresh.forks += 1
+        successors.append(self._advance(fresh))
+        if self.config.memory_fork_domain == "known":
+            for address in self._memory_fork_addresses(state):
+                branch = self._base(state)
+                branch.write_memory(address, value, transfer_from=value_location)
+                branch.forks += 1
+                successors.append(self._advance(branch))
+        return successors
+
+    def _memory_fork_addresses(self, state: MachineState) -> List[int]:
+        addresses = sorted(state.memory)
+        cap = self.config.max_memory_forks
+        if len(addresses) <= cap:
+            return addresses
+        stride = max(1, len(addresses) // cap)
+        return addresses[::stride][:cap]
+
+    def _execute_branch(self, state: MachineState,
+                        instruction: Instruction) -> List[MachineState]:
+        rs, immediate, label = instruction.operands
+        op = ComparisonOp.EQ if instruction.opcode == "beq" else ComparisonOp.NE
+        value, location = self._register_value(state, rs)
+        target = self.program.resolve(label)
+        outcomes = resolve_comparison(state.constraints, op, value, immediate,
+                                      location, None)
+        successors: List[MachineState] = []
+        for outcome in outcomes:
+            branch = self._base(state)
+            branch.constraints = outcome.constraints
+            if outcome.forked:
+                branch.forks += 1
+            branch.pc = target if outcome.result else branch.pc + 1
+            successors.append(branch)
+        return successors
+
+    def _execute_jump(self, state: MachineState,
+                      instruction: Instruction) -> List[MachineState]:
+        successor = self._base(state)
+        successor.pc = self.program.resolve(instruction.operands[0])
+        return [successor]
+
+    def _execute_call(self, state: MachineState,
+                      instruction: Instruction) -> List[MachineState]:
+        successor = self._base(state)
+        successor.write_register(RETURN_ADDRESS_REGISTER, state.pc + 1)
+        successor.pc = self.program.resolve(instruction.operands[0])
+        return [successor]
+
+    def _execute_jump_register(self, state: MachineState,
+                               instruction: Instruction) -> List[MachineState]:
+        target = state.read_register(instruction.operands[0])
+        if is_err(target):
+            return self._control_error_successors(
+                state, note=f"jr ${instruction.operands[0]} with corrupted target")
+        if not self.program.is_valid_address(target):
+            return [self._crash(state, ILLEGAL_INSTRUCTION)]
+        successor = self._base(state)
+        successor.pc = target
+        return [successor]
+
+    def _control_error_successors(self, state: MachineState,
+                                  note: str = "") -> List[MachineState]:
+        """Erroneous control transfer: arbitrary valid code location or crash."""
+        successors: List[MachineState] = [self._crash(state, ILLEGAL_INSTRUCTION)]
+        for target in self._control_fork_targets():
+            branch = self._base(state)
+            branch.pc = target
+            branch.forks += 1
+            successors.append(branch)
+        return successors
+
+    def _control_fork_targets(self) -> List[int]:
+        domain = self.config.control_fork_domain
+        if domain == "exception_only":
+            targets: Sequence[int] = ()
+        elif domain == "labels":
+            targets = self.program.label_addresses()
+        elif domain == "targets":
+            targets = self.program.control_transfer_targets()
+        elif domain == "all":
+            targets = range(len(self.program))
+        else:
+            raise MachineModelError(f"unknown control fork domain {domain!r}")
+        targets = list(targets)
+        cap = self.config.max_control_forks
+        if len(targets) <= cap:
+            return targets
+        stride = max(1, len(targets) // cap)
+        return targets[::stride][:cap]
+
+    def _execute_io_read(self, state: MachineState,
+                         instruction: Instruction) -> List[MachineState]:
+        if not state.has_input():
+            return [self._crash(state, INPUT_EXHAUSTED)]
+        successor = self._base(state)
+        value = successor.next_input()
+        successor.write_register(instruction.operands[0], value)
+        return [self._advance(successor)]
+
+    def _execute_io_write(self, state: MachineState,
+                          instruction: Instruction) -> List[MachineState]:
+        successor = self._base(state)
+        if instruction.opcode == "print":
+            successor.append_output(state.read_register(instruction.operands[0]))
+        else:  # prints
+            successor.append_output(instruction.operands[0])
+        return [self._advance(successor)]
+
+    def _execute_check(self, state: MachineState,
+                       instruction: Instruction) -> List[MachineState]:
+        identifier = instruction.operands[0]
+        detector = self.detectors.get(identifier)
+        if detector is None:
+            raise MachineModelError(
+                f"check instruction references unknown detector {identifier}")
+        outcomes = execute_detector(detector, state)
+        successors: List[MachineState] = []
+        for outcome in outcomes:
+            branch = self._base(state)
+            branch.constraints = outcome.constraints
+            if outcome.forked:
+                branch.forks += 1
+            if outcome.detected:
+                branch.detect(identifier, detector_exception(identifier))
+            else:
+                self._advance(branch)
+            successors.append(branch)
+        return successors
+
+    def _execute_special(self, state: MachineState,
+                         instruction: Instruction) -> List[MachineState]:
+        if instruction.opcode == "halt":
+            successor = self._base(state)
+            successor.halt()
+            return [successor]
+        if instruction.opcode == "nop":
+            return [self._advance(self._base(state))]
+        if instruction.opcode == "throw":
+            return [self._crash(state, instruction.operands[0])]
+        raise MachineModelError(f"unhandled special opcode {instruction.opcode}")
+
+    _HANDLERS = {
+        Category.ARITHMETIC: _execute_arithmetic,
+        Category.COMPARE: _execute_compare,
+        Category.MOVE: _execute_move,
+        Category.LOAD: _execute_load,
+        Category.STORE: _execute_store,
+        Category.BRANCH: _execute_branch,
+        Category.JUMP: _execute_jump,
+        Category.CALL: _execute_call,
+        Category.JUMP_REGISTER: _execute_jump_register,
+        Category.IO_READ: _execute_io_read,
+        Category.IO_WRITE: _execute_io_write,
+        Category.CHECK: _execute_check,
+        Category.SPECIAL: _execute_special,
+    }
+
+
+def _trace_entry(state: MachineState, instruction: Instruction,
+                 successor: MachineState):
+    from .state import TraceEntry
+    return TraceEntry(state.pc, instruction.render())
+
+
+# --------------------------------------------------------------------------
+# Lean concrete interpreter (SimpleScalar-substitute building block).
+# --------------------------------------------------------------------------
+
+def concrete_step(program: Program, state: MachineState,
+                  detectors: DetectorSet = EMPTY_DETECTORS) -> MachineState:
+    """Execute one instruction on a fully concrete state, in place.
+
+    Raises :class:`SymbolicValueEncountered` if an ``err`` value is met — the
+    caller should fall back to the symbolic executor in that case.
+    """
+    pc = state.pc
+    if is_err(pc):
+        raise SymbolicValueEncountered("PC is err")
+    instruction = program.fetch(pc)
+    if instruction is None:
+        state.throw(ILLEGAL_INSTRUCTION)
+        return state
+
+    opcode = instruction.opcode
+    operands = instruction.operands
+    category = instruction.category
+    state.steps += 1
+
+    def reg(number: int) -> int:
+        value = state.read_register(number)
+        if is_err(value):
+            raise SymbolicValueEncountered(f"register ${number} is err")
+        return value
+
+    if category is Category.ARITHMETIC:
+        rd, rs, third = operands
+        left = reg(rs)
+        right = reg(third) if instruction.spec.signature[2].value == "reg" else third
+        operator = IMMEDIATE_ALIASES.get(opcode, opcode)
+        if operator in ("div", "mod") and right == 0:
+            state.throw(DIVIDE_BY_ZERO)
+            return state
+        state.registers[rd] = concrete_binary(operator, left, right) if rd != 0 else 0
+        state.pc = pc + 1
+    elif category is Category.COMPARE:
+        rd, rs, third = operands
+        base_opcode = opcode[:-1] if opcode not in _COMPARE_OPS else opcode
+        op = _COMPARE_OPS[base_opcode]
+        left = reg(rs)
+        right = reg(third) if instruction.spec.signature[2].value == "reg" else third
+        if rd != 0:
+            state.registers[rd] = 1 if op.evaluate(left, right) else 0
+        state.pc = pc + 1
+    elif category is Category.MOVE:
+        rd = operands[0]
+        value = reg(operands[1]) if opcode == "mov" else operands[1]
+        if rd != 0:
+            state.registers[rd] = value
+        state.pc = pc + 1
+    elif category is Category.LOAD:
+        rt, rs, offset = operands
+        address = reg(rs) + offset
+        if address not in state.memory:
+            state.throw(ILLEGAL_ADDRESS)
+            return state
+        value = state.memory[address]
+        if is_err(value):
+            raise SymbolicValueEncountered(f"memory {address} is err")
+        if rt != 0:
+            state.registers[rt] = value
+        state.pc = pc + 1
+    elif category is Category.STORE:
+        rt, rs, offset = operands
+        state.memory[reg(rs) + offset] = reg(rt)
+        state.pc = pc + 1
+    elif category is Category.BRANCH:
+        rs, immediate, label = operands
+        value = reg(rs)
+        taken = (value == immediate) if opcode == "beq" else (value != immediate)
+        state.pc = program.resolve(label) if taken else pc + 1
+    elif category is Category.JUMP:
+        state.pc = program.resolve(operands[0])
+    elif category is Category.CALL:
+        state.registers[RETURN_ADDRESS_REGISTER] = pc + 1
+        state.pc = program.resolve(operands[0])
+    elif category is Category.JUMP_REGISTER:
+        target = reg(operands[0])
+        if not program.is_valid_address(target):
+            state.throw(ILLEGAL_INSTRUCTION)
+            return state
+        state.pc = target
+    elif category is Category.IO_READ:
+        if not state.has_input():
+            state.throw(INPUT_EXHAUSTED)
+            return state
+        value = state.next_input()
+        if operands[0] != 0:
+            state.registers[operands[0]] = value
+        state.pc = pc + 1
+    elif category is Category.IO_WRITE:
+        if opcode == "print":
+            state.append_output(reg(operands[0]))
+        else:
+            state.append_output(operands[0])
+        state.pc = pc + 1
+    elif category is Category.CHECK:
+        detector = detectors.get(operands[0])
+        if detector is None:
+            raise MachineModelError(
+                f"check instruction references unknown detector {operands[0]}")
+        outcomes = execute_detector(detector, state)
+        if len(outcomes) != 1:
+            raise SymbolicValueEncountered("detector outcome is symbolic")
+        if outcomes[0].detected:
+            state.detect(operands[0], detector_exception(operands[0]))
+        else:
+            state.pc = pc + 1
+    elif category is Category.SPECIAL:
+        if opcode == "halt":
+            state.halt()
+        elif opcode == "nop":
+            state.pc = pc + 1
+        elif opcode == "throw":
+            state.throw(operands[0])
+        else:  # pragma: no cover - exhaustive
+            raise MachineModelError(f"unhandled special opcode {opcode}")
+    else:  # pragma: no cover - exhaustive
+        raise MachineModelError(f"unhandled category {category}")
+    return state
+
+
+def run_concrete(program: Program, state: MachineState,
+                 detectors: DetectorSet = EMPTY_DETECTORS,
+                 max_steps: int = 200_000) -> MachineState:
+    """Run a fully concrete state to termination (in place)."""
+    while state.is_running:
+        if state.steps >= max_steps:
+            state.time_out(TIMED_OUT)
+            break
+        concrete_step(program, state, detectors)
+    return state
+
+
+def run_concrete_until(program: Program, state: MachineState,
+                       stop_pc: int, occurrence: int = 1,
+                       detectors: DetectorSet = EMPTY_DETECTORS,
+                       max_steps: int = 200_000) -> MachineState:
+    """Run concretely until the program counter reaches *stop_pc*.
+
+    Used to position the machine at an injection breakpoint: execution stops
+    *before* the instruction at ``stop_pc`` is executed for the
+    *occurrence*-th time.  If the breakpoint is never reached the state is
+    simply run to termination.
+    """
+    remaining = occurrence
+    while state.is_running:
+        if state.steps >= max_steps:
+            state.time_out(TIMED_OUT)
+            break
+        if state.pc == stop_pc:
+            remaining -= 1
+            if remaining <= 0:
+                break
+        concrete_step(program, state, detectors)
+    return state

@@ -1,0 +1,297 @@
+"""The machine state abstraction (paper Section 5.1).
+
+The machine state is the ``soup`` of mutable processor structures carried
+from instruction to instruction: the program counter, the register file, the
+memory, and the input and output streams.  The symbolic extension adds the
+:class:`~repro.constraints.constraint_map.ConstraintMap` (Section 5.2), a
+step counter used by the watchdog bound, and a status describing whether the
+state is still running or how it terminated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..constraints import ConstraintMap, Location
+from ..isa.instructions import NUM_REGISTERS, ZERO_REGISTER
+from ..isa.values import ERR, Value, format_value, is_err
+
+
+class Status(Enum):
+    """Lifecycle of a machine state."""
+
+    RUNNING = "running"
+    HALTED = "halted"          # normal termination through ``halt``
+    EXCEPTION = "exception"    # crash: illegal address/instruction, throw, ...
+    DETECTED = "detected"      # a detector fired and stopped the program
+    TIMEOUT = "timeout"        # watchdog bound exceeded (hang)
+
+    def is_terminal(self) -> bool:
+        return self is not Status.RUNNING
+
+
+OutputItem = Union[int, str, type(ERR)]
+
+
+@dataclass
+class TraceEntry:
+    """One step of an execution trace (used for witnesses in reports)."""
+
+    pc: Value
+    text: str
+
+    def __str__(self) -> str:
+        return f"[{format_value(self.pc)}] {self.text}"
+
+
+class MachineState:
+    """A complete machine state.
+
+    The class is mutable for performance (the concrete simulator executes
+    millions of instructions), but the symbolic executor always works on
+    copies produced by :meth:`copy`, so forked states never alias registers,
+    memory or constraints.
+    """
+
+    __slots__ = ("pc", "registers", "memory", "input", "input_pos", "output",
+                 "constraints", "steps", "status", "exception", "detector_id",
+                 "trace", "forks")
+
+    def __init__(self,
+                 pc: Value = 0,
+                 registers: Optional[List[Value]] = None,
+                 memory: Optional[Dict[int, Value]] = None,
+                 input_values: Sequence[int] = (),
+                 output: Optional[List[OutputItem]] = None,
+                 constraints: Optional[ConstraintMap] = None) -> None:
+        self.pc: Value = pc
+        self.registers: List[Value] = list(registers) if registers is not None \
+            else [0] * NUM_REGISTERS
+        if len(self.registers) != NUM_REGISTERS:
+            raise ValueError(f"register file must have {NUM_REGISTERS} entries")
+        self.memory: Dict[int, Value] = dict(memory) if memory else {}
+        self.input: Tuple[int, ...] = tuple(input_values)
+        self.input_pos: int = 0
+        self.output: List[OutputItem] = list(output) if output else []
+        self.constraints: ConstraintMap = constraints or ConstraintMap()
+        self.steps: int = 0
+        self.status: Status = Status.RUNNING
+        self.exception: Optional[str] = None
+        self.detector_id: Optional[int] = None
+        self.trace: List[TraceEntry] = []
+        self.forks: int = 0
+
+    # ------------------------------------------------------------------ copies
+
+    def copy(self) -> "MachineState":
+        """A deep-enough copy: registers, memory, output and trace are fresh."""
+        clone = MachineState.__new__(MachineState)
+        clone.pc = self.pc
+        clone.registers = list(self.registers)
+        clone.memory = dict(self.memory)
+        clone.input = self.input
+        clone.input_pos = self.input_pos
+        clone.output = list(self.output)
+        clone.constraints = self.constraints  # immutable-by-convention
+        clone.steps = self.steps
+        clone.status = self.status
+        clone.exception = self.exception
+        clone.detector_id = self.detector_id
+        clone.trace = list(self.trace)
+        clone.forks = self.forks
+        return clone
+
+    # --------------------------------------------------------------- registers
+
+    def read_register(self, number: int) -> Value:
+        """Read a register; register 0 is hard-wired to zero."""
+        if number == ZERO_REGISTER:
+            return 0
+        return self.registers[number]
+
+    def write_register(self, number: int, value: Value,
+                       transfer_from: Optional[Location] = None) -> None:
+        """Write a register and keep the constraint map consistent.
+
+        Writes to register 0 are discarded.  Writing a concrete value clears
+        any constraints previously attached to the register; writing ``err``
+        leaves the destination unconstrained unless *transfer_from* names the
+        location the value was copied from verbatim (``mov``/``ldi``), in
+        which case its constraints are carried over.
+        """
+        if number == ZERO_REGISTER:
+            return
+        self.registers[number] = value
+        destination = Location.register(number)
+        if is_err(value):
+            if transfer_from is not None:
+                self.constraints = self.constraints.without(destination)
+                self.constraints = self.constraints.transfer(transfer_from, destination)
+            else:
+                self.constraints = self.constraints.without(destination)
+        else:
+            self.constraints = self.constraints.without(destination)
+
+    # ------------------------------------------------------------------ memory
+
+    def is_defined_address(self, address: int) -> bool:
+        return address in self.memory
+
+    def read_memory(self, address: int) -> Value:
+        return self.memory[address]
+
+    def write_memory(self, address: int, value: Value,
+                     transfer_from: Optional[Location] = None) -> None:
+        """Write a memory word, mirroring :meth:`write_register` for constraints."""
+        self.memory[address] = value
+        destination = Location.memory(address)
+        if is_err(value) and transfer_from is not None:
+            self.constraints = self.constraints.without(destination)
+            self.constraints = self.constraints.transfer(transfer_from, destination)
+        else:
+            self.constraints = self.constraints.without(destination)
+
+    # ------------------------------------------------------------------- input
+
+    def has_input(self) -> bool:
+        return self.input_pos < len(self.input)
+
+    def next_input(self) -> int:
+        value = self.input[self.input_pos]
+        self.input_pos += 1
+        return value
+
+    # ------------------------------------------------------------------ output
+
+    def append_output(self, item: OutputItem) -> None:
+        self.output.append(item)
+
+    def output_values(self) -> Tuple[OutputItem, ...]:
+        return tuple(self.output)
+
+    def printed_integers(self) -> Tuple[Value, ...]:
+        """Only the numeric items printed by ``print`` (skipping ``prints`` text)."""
+        return tuple(item for item in self.output
+                     if is_err(item) or isinstance(item, int))
+
+    def output_contains_err(self) -> bool:
+        return any(is_err(item) for item in self.output)
+
+    # -------------------------------------------------------------- termination
+
+    def halt(self) -> None:
+        self.status = Status.HALTED
+
+    def throw(self, message: str) -> None:
+        self.status = Status.EXCEPTION
+        self.exception = message
+
+    def detect(self, detector_id: int, message: str) -> None:
+        self.status = Status.DETECTED
+        self.detector_id = detector_id
+        self.exception = message
+
+    def time_out(self, message: str) -> None:
+        self.status = Status.TIMEOUT
+        self.exception = message
+
+    @property
+    def is_running(self) -> bool:
+        return self.status is Status.RUNNING
+
+    @property
+    def crashed(self) -> bool:
+        return self.status is Status.EXCEPTION
+
+    @property
+    def hung(self) -> bool:
+        return self.status is Status.TIMEOUT
+
+    @property
+    def detected(self) -> bool:
+        return self.status is Status.DETECTED
+
+    # ------------------------------------------------------------------ tracing
+
+    def record(self, text: str) -> None:
+        self.trace.append(TraceEntry(self.pc, text))
+
+    # ----------------------------------------------------------------- hashing
+
+    def fingerprint(self) -> Tuple:
+        """A hashable summary used by the model checker for state deduplication.
+
+        Two states with the same fingerprint have the same observable future
+        behaviour, so only one of them needs to be explored further.
+        """
+        return (
+            self.pc if not is_err(self.pc) else ERR,
+            tuple(self.registers),
+            tuple(sorted(self.memory.items())),
+            self.input_pos,
+            tuple(self.output),
+            self.constraints,
+            self.status,
+            self.exception,
+        )
+
+    # ------------------------------------------------------------------ display
+
+    def describe(self) -> str:
+        lines = [
+            f"pc      = {format_value(self.pc)}",
+            f"status  = {self.status.value}"
+            + (f" ({self.exception})" if self.exception else ""),
+            f"steps   = {self.steps}",
+            "registers:",
+        ]
+        interesting = [(i, v) for i, v in enumerate(self.registers)
+                       if is_err(v) or v != 0]
+        lines.append("  " + "  ".join(f"${i}={format_value(v)}" for i, v in interesting)
+                     if interesting else "  (all zero)")
+        if self.memory:
+            rendered = ", ".join(f"{addr}:{format_value(val)}"
+                                 for addr, val in sorted(self.memory.items())[:24])
+            suffix = " ..." if len(self.memory) > 24 else ""
+            lines.append(f"memory  = {{{rendered}{suffix}}}")
+        lines.append("output  = [" + ", ".join(
+            repr(item) if isinstance(item, str) else format_value(item)
+            for item in self.output) + "]")
+        lines.append("constraints:")
+        lines.append(self.constraints.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<MachineState pc={format_value(self.pc)} status={self.status.value} "
+                f"steps={self.steps} outputs={len(self.output)}>")
+
+
+def state_contains_err(state: MachineState) -> bool:
+    """True if the symbolic ``err`` value is present anywhere in the state.
+
+    A state with no ``err`` left (every corrupted location was overwritten)
+    behaves deterministically from now on, so the model checker can finish it
+    with the fast concrete interpreter instead of step-by-step copies.
+    """
+    if is_err(state.pc):
+        return True
+    for value in state.registers:
+        if is_err(value):
+            return True
+    for value in state.memory.values():
+        if is_err(value):
+            return True
+    return False
+
+
+def initial_state(input_values: Sequence[int] = (),
+                  memory: Optional[Dict[int, Value]] = None,
+                  entry_point: int = 0) -> MachineState:
+    """Build the initial machine state for running a program.
+
+    *memory* provides the loader-initialised data segment (the paper assumes
+    the loader initialises every location before its first use).
+    """
+    return MachineState(pc=entry_point, memory=memory, input_values=input_values)

@@ -1,0 +1,56 @@
+"""Workloads evaluated in the paper plus small auxiliary kernels."""
+
+from typing import Callable, Dict
+
+from .base import Workload
+from .factorial import (FACTORIAL_DETECTORS_SOURCE, FACTORIAL_SOURCE,
+                        FACTORIAL_WITH_DETECTORS_SOURCE, factorial_workload,
+                        factorial_with_detectors_workload,
+                        loop_counter_injection_pc)
+from .tcas import (DOWNWARD_ADVISORY_INPUT, TCAS_INPUT_NAMES, TCAS_SOURCE,
+                   UPWARD_ADVISORY_INPUT, compile_tcas, make_input,
+                   reference_alt_sep_test, tcas_workload)
+from .replace import (DEFAULT_LINES, DEFAULT_PATTERN, DEFAULT_SUBSTITUTION,
+                      REPLACE_SOURCE, compile_replace, decode_output,
+                      encode_input, reference_replace, replace_workload)
+from .kernels import (call_max_workload, memory_walk_workload,
+                      safe_divide_workload, sum_input_workload)
+
+
+#: Registry of workload factories, keyed by name (used by examples/benchmarks).
+WORKLOADS: Dict[str, Callable[[], Workload]] = {
+    "factorial": factorial_workload,
+    "factorial_with_detectors": factorial_with_detectors_workload,
+    "tcas": tcas_workload,
+    "replace": replace_workload,
+    "sum_input": sum_input_workload,
+    "memory_walk": memory_walk_workload,
+    "call_max": call_max_workload,
+    "safe_divide": safe_divide_workload,
+}
+
+
+def load_workload(name: str) -> Workload:
+    """Build a workload from the registry by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; available: "
+                         f"{sorted(WORKLOADS)}") from None
+    return factory()
+
+
+__all__ = [
+    "Workload", "WORKLOADS", "load_workload",
+    "FACTORIAL_DETECTORS_SOURCE", "FACTORIAL_SOURCE",
+    "FACTORIAL_WITH_DETECTORS_SOURCE", "factorial_workload",
+    "factorial_with_detectors_workload", "loop_counter_injection_pc",
+    "DOWNWARD_ADVISORY_INPUT", "TCAS_INPUT_NAMES", "TCAS_SOURCE",
+    "UPWARD_ADVISORY_INPUT", "compile_tcas", "make_input",
+    "reference_alt_sep_test", "tcas_workload",
+    "DEFAULT_LINES", "DEFAULT_PATTERN", "DEFAULT_SUBSTITUTION",
+    "REPLACE_SOURCE", "compile_replace", "decode_output", "encode_input",
+    "reference_replace", "replace_workload",
+    "call_max_workload", "memory_walk_workload", "safe_divide_workload",
+    "sum_input_workload",
+]

@@ -1,0 +1,117 @@
+"""Small assembly kernels used by tests and the Table 1 error-category bench.
+
+Each kernel is a tiny program exercising one corner of the machine/error
+model: arithmetic chains, memory traffic, branches, calls and I/O.  They are
+deliberately small so that exhaustive symbolic exploration of every error
+class finishes quickly, which is what the Table 1 benchmark needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..isa.parser import assemble
+from .base import Workload
+
+
+#: Sums the N numbers following the count on the input stream.
+SUM_INPUT_SOURCE = """
+        read $1               -- number of values
+        ori $2 $0 #0          -- accumulator
+loop:   setgt $3 $1 $0        -- while count > 0
+        beq $3 0 done
+        read $4
+        add $2 $2 $4
+        subi $1 $1 #1
+        beq $0 0 loop
+done:   prints "sum = "
+        print $2
+        halt
+"""
+
+#: Writes the first N triangular numbers into memory, then reads them back.
+MEMORY_WALK_SOURCE = """
+        read $1               -- N
+        ori $2 $0 #0          -- index
+        ori $3 $0 #0          -- running total
+        ori $7 $0 #2000       -- base address of the table
+fill:   setge $4 $2 $1
+        bne $4 0 readback
+        add $3 $3 $2
+        add $5 $7 $2
+        sti $3 $5 0           -- table[index] = total
+        addi $2 $2 #1
+        beq $0 0 fill
+readback:
+        ori $2 $0 #0
+        ori $6 $0 #0
+sumup:  setge $4 $2 $1
+        bne $4 0 report
+        add $5 $7 $2
+        ldi $8 $5 0
+        add $6 $6 $8
+        addi $2 $2 #1
+        beq $0 0 sumup
+report: print $6
+        halt
+"""
+
+#: Computes max(a, b) through a call, exercising jal/jr and the $31 register.
+CALL_MAX_SOURCE = """
+        read $4               -- a
+        read $5               -- b
+        jal max
+        print $2
+        halt
+max:    setgt $6 $4 $5
+        beq $6 0 second
+        mov $2 $4
+        jr $31
+second: mov $2 $5
+        jr $31
+"""
+
+#: Integer division with an explicit divide-by-zero guard.
+SAFE_DIVIDE_SOURCE = """
+        read $1               -- dividend
+        read $2               -- divisor
+        bne $2 0 divide
+        prints "divide by zero"
+        throw "guarded div-zero"
+divide: div $3 $1 $2
+        print $3
+        halt
+"""
+
+
+def sum_input_workload(count: int = 4,
+                       values: Tuple[int, ...] = (3, 5, 7, 9)) -> Workload:
+    program = assemble(SUM_INPUT_SOURCE, name="sum_input")
+    return Workload(name="sum_input", program=program,
+                    description="sum N values read from the input stream",
+                    default_input=(count,) + tuple(values),
+                    recommended_max_steps=1_000)
+
+
+def memory_walk_workload(n: int = 6) -> Workload:
+    program = assemble(MEMORY_WALK_SOURCE, name="memory_walk")
+    return Workload(name="memory_walk", program=program,
+                    description="store/load walk over a small table",
+                    default_input=(n,),
+                    recommended_max_steps=2_000)
+
+
+def call_max_workload(a: int = 17, b: int = 9) -> Workload:
+    program = assemble(CALL_MAX_SOURCE, name="call_max")
+    return Workload(name="call_max", program=program,
+                    description="max(a, b) through a function call (jal/jr)",
+                    default_input=(a, b),
+                    recommended_max_steps=200)
+
+
+def safe_divide_workload(dividend: int = 42, divisor: int = 6) -> Workload:
+    program = assemble(SAFE_DIVIDE_SOURCE, name="safe_divide")
+    return Workload(name="safe_divide", program=program,
+                    description="guarded integer division",
+                    default_input=(dividend, divisor),
+                    recommended_max_steps=200)

@@ -1,0 +1,830 @@
+"""The replace workload (paper Section 6.4, Table 3).
+
+``replace`` is the largest of the Siemens benchmark programs: it reads a
+pattern, a substitution string and input lines, and writes each line with
+every match of the pattern replaced by the substitution.  The pattern
+language is the classic *Software Tools* subset: literal characters, ``?``
+(any character), ``%`` (beginning of line), ``$`` (end of line), ``[...]``
+character classes with ``-`` ranges and ``^`` negation, ``*`` closure and
+``@`` escapes; ``&`` in the substitution stands for the matched text.
+
+The minic source below keeps the structure and function decomposition of the
+Siemens C program — ``makepat``, ``getccl``, ``dodash``, ``amatch``,
+``omatch``, ``locate``, ``patsize``, ``addstr``, ``esc``, ``stclose``,
+``makesub``, ``subline``, ``putsub``, ``change``, ``getline`` — because the
+paper's experiment (Table 3 and the dodash example scenario) targets exactly
+those functions.  C's by-reference index parameters (``int *i``) become the
+module-level cells ``g_i``/``g_j``/``g_esc_i``/``g_om_i``, which is the only
+structural deviation (minic has no pointers to scalars).
+
+I/O encoding: the machine's ``read`` instruction yields integers, so strings
+are streams of character codes.  The input stream is::
+
+    <pattern arg chars> 0 <substitution arg chars> 0 { <line chars> 10 }* 0
+
+and the program's output is the stream of character codes it would have
+written to stdout.  :func:`encode_input` and :func:`decode_output` convert
+between Python strings and this encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..lang import CompiledProgram, compile_source
+from .base import Workload
+
+
+REPLACE_SOURCE = """
+// Siemens "replace", re-expressed in minic.
+
+const MAXSTR = 100;
+const MAXPAT = 100;
+
+const ENDSTR = 0;
+const ESCAPE = '@';
+const CLOSURE = '*';
+const BOL = '%';
+const EOL = '$';
+const ANY = '?';
+const CCL = '[';
+const CCLEND = ']';
+const NEGATE = '^';
+const NCCL = '!';
+const LITCHAR = 'c';
+const DITTO = -1;
+const DASH = '-';
+
+const TAB = 9;
+const NEWLINE = 10;
+
+const CLOSIZE = 1;
+
+// by-reference index parameters of the original C code
+int g_i;
+int g_j;
+int g_esc_i;
+int g_om_i;
+
+// string buffers
+int lin[100];
+int pat_arg[100];
+int sub_arg[100];
+int pat[100];
+int sub[100];
+
+int is_alnum(int c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+int in_set_2(int c) {
+    return (c == BOL) || (c == EOL) || (c == CLOSURE);
+}
+
+int in_pat_set(int c) {
+    return (c == LITCHAR) || (c == BOL) || (c == EOL) || (c == ANY) ||
+           (c == CCL) || (c == NCCL) || (c == CLOSURE);
+}
+
+int addstr(int c, int outset, int maxset) {
+    // appends c at outset[g_j]; advances g_j; reports overflow
+    int result;
+    if (g_j >= maxset) {
+        result = 0;
+    } else {
+        outset[g_j] = c;
+        g_j = g_j + 1;
+        result = 1;
+    }
+    return result;
+}
+
+int esc(int s, int i) {
+    // interpret an @-escape at s[i]; leaves the index of the consumed
+    // character in g_esc_i (the caller resumes from g_esc_i + 1)
+    int result;
+    g_esc_i = i;
+    if (s[i] != ESCAPE) {
+        result = s[i];
+    } else {
+        if (s[i + 1] == ENDSTR) {
+            result = ESCAPE;
+        } else {
+            g_esc_i = i + 1;
+            if (s[g_esc_i] == 'n') {
+                result = NEWLINE;
+            } else {
+                if (s[g_esc_i] == 't') {
+                    result = TAB;
+                } else {
+                    result = s[g_esc_i];
+                }
+            }
+        }
+    }
+    return result;
+}
+
+void dodash(int delim, int src, int dest, int maxset) {
+    // expand character ranges inside a class; uses g_i (src) and g_j (dest)
+    int k;
+    int junk;
+    while ((src[g_i] != delim) && (src[g_i] != ENDSTR)) {
+        if (src[g_i] == ESCAPE) {
+            junk = addstr(esc(src, g_i), dest, maxset);
+            g_i = g_esc_i;
+        } else {
+            if (src[g_i] != DASH) {
+                junk = addstr(src[g_i], dest, maxset);
+            } else {
+                if (g_j <= 1 || src[g_i + 1] == ENDSTR) {
+                    junk = addstr(DASH, dest, maxset);
+                } else {
+                    if (is_alnum(src[g_i - 1]) && is_alnum(src[g_i + 1]) &&
+                        src[g_i - 1] <= src[g_i + 1]) {
+                        k = src[g_i - 1] + 1;
+                        while (k <= src[g_i + 1]) {
+                            junk = addstr(k, dest, maxset);
+                            k = k + 1;
+                        }
+                        g_i = g_i + 1;
+                    } else {
+                        junk = addstr(DASH, dest, maxset);
+                    }
+                }
+            }
+        }
+        g_i = g_i + 1;
+    }
+}
+
+int getccl(int arg, int patbuf) {
+    // translate a [...] class starting at arg[g_i]; returns true on success
+    int jstart;
+    int junk;
+    g_i = g_i + 1;               // skip over the '['
+    if (arg[g_i] == NEGATE) {
+        junk = addstr(NCCL, patbuf, MAXPAT);
+        g_i = g_i + 1;
+    } else {
+        junk = addstr(CCL, patbuf, MAXPAT);
+    }
+    jstart = g_j;
+    junk = addstr(0, patbuf, MAXPAT);   // leave room for the class size
+    dodash(CCLEND, arg, patbuf, MAXPAT);
+    patbuf[jstart] = g_j - jstart - 1;
+    return arg[g_i] == CCLEND;
+}
+
+void stclose(int patbuf, int lastj) {
+    // insert the CLOSURE marker before the last pattern element
+    int jp;
+    jp = g_j - 1;
+    while (jp >= lastj) {
+        patbuf[jp + CLOSIZE] = patbuf[jp];
+        jp = jp - 1;
+    }
+    g_j = g_j + CLOSIZE;
+    patbuf[lastj] = CLOSURE;
+}
+
+int makepat(int arg, int start, int delim, int patbuf) {
+    // build the encoded pattern; returns the index of the delimiter, or 0
+    int result;
+    int lastj;
+    int lj;
+    int done;
+    int junk;
+    int getres;
+    g_j = 0;
+    g_i = start;
+    lastj = 0;
+    done = 0;
+    while ((!done) && (arg[g_i] != delim) && (arg[g_i] != ENDSTR)) {
+        lj = g_j;
+        if (arg[g_i] == ANY) {
+            junk = addstr(ANY, patbuf, MAXPAT);
+        } else {
+            if ((arg[g_i] == BOL) && (g_i == start)) {
+                junk = addstr(BOL, patbuf, MAXPAT);
+            } else {
+                if ((arg[g_i] == EOL) && (arg[g_i + 1] == delim)) {
+                    junk = addstr(EOL, patbuf, MAXPAT);
+                } else {
+                    if (arg[g_i] == CCL) {
+                        getres = getccl(arg, patbuf);
+                        done = getres == 0;
+                    } else {
+                        if ((arg[g_i] == CLOSURE) && (g_i > start)) {
+                            lj = lastj;
+                            if (in_set_2(patbuf[lj])) {
+                                done = 1;
+                            } else {
+                                stclose(patbuf, lastj);
+                            }
+                        } else {
+                            junk = addstr(LITCHAR, patbuf, MAXPAT);
+                            junk = addstr(esc(arg, g_i), patbuf, MAXPAT);
+                            g_i = g_esc_i;
+                        }
+                    }
+                }
+            }
+        }
+        lastj = lj;
+        if (!done) {
+            g_i = g_i + 1;
+        }
+    }
+    junk = addstr(ENDSTR, patbuf, MAXPAT);
+    if (done || (arg[g_i] != delim)) {
+        result = 0;
+    } else {
+        if (!junk) {
+            result = 0;
+        } else {
+            result = g_i;
+        }
+    }
+    return result;
+}
+
+int getpat(int arg, int patbuf) {
+    return makepat(arg, 0, ENDSTR, patbuf) > 0;
+}
+
+int makesub(int arg, int from, int delim, int subbuf) {
+    // build the encoded substitution; returns the delimiter index, or 0
+    int result;
+    int i;
+    int junk;
+    result = 0;
+    i = from;
+    g_j = 0;
+    while ((arg[i] != delim) && (arg[i] != ENDSTR)) {
+        if (arg[i] == '&') {
+            junk = addstr(DITTO, subbuf, MAXPAT);
+        } else {
+            junk = addstr(esc(arg, i), subbuf, MAXPAT);
+            i = g_esc_i;
+        }
+        i = i + 1;
+    }
+    if (arg[i] != delim) {
+        result = 0;
+    } else {
+        junk = addstr(ENDSTR, subbuf, MAXPAT);
+        if (!junk) {
+            result = 0;
+        } else {
+            result = i;
+        }
+    }
+    return result;
+}
+
+int getsub(int arg, int subbuf) {
+    return makesub(arg, 0, ENDSTR, subbuf) > 0;
+}
+
+int locate(int c, int patbuf, int offset) {
+    // is character c in the class whose size is at patbuf[offset]?
+    int i;
+    int flag;
+    flag = 0;
+    i = offset + patbuf[offset];
+    while (i > offset) {
+        if (c == patbuf[i]) {
+            flag = 1;
+            i = offset;
+        } else {
+            i = i - 1;
+        }
+    }
+    return flag;
+}
+
+int patsize(int patbuf, int n) {
+    // size of the pattern entry starting at index n
+    int size;
+    size = 0;
+    if (!in_pat_set(patbuf[n])) {
+        prints("in patsize: can't happen");
+        print(-99);
+    } else {
+        if (patbuf[n] == LITCHAR) {
+            size = 2;
+        } else {
+            if ((patbuf[n] == BOL) || (patbuf[n] == EOL) || (patbuf[n] == ANY)) {
+                size = 1;
+            } else {
+                if ((patbuf[n] == CCL) || (patbuf[n] == NCCL)) {
+                    size = patbuf[n + 1] + 2;
+                } else {
+                    size = CLOSIZE;   // CLOSURE
+                }
+            }
+        }
+    }
+    return size;
+}
+
+int omatch(int linbuf, int patbuf, int j) {
+    // match a single pattern element at lin[g_om_i]; advances g_om_i
+    int advance;
+    int result;
+    advance = -1;
+    if (linbuf[g_om_i] == ENDSTR) {
+        result = 0;
+    } else {
+        if (!in_pat_set(patbuf[j])) {
+            prints("in omatch: can't happen");
+            print(-99);
+            result = 0;
+        } else {
+            if (patbuf[j] == LITCHAR) {
+                if (linbuf[g_om_i] == patbuf[j + 1]) {
+                    advance = 1;
+                }
+            } else {
+                if (patbuf[j] == BOL) {
+                    if (g_om_i == 0) {
+                        advance = 0;
+                    }
+                } else {
+                    if (patbuf[j] == ANY) {
+                        if (linbuf[g_om_i] != NEWLINE) {
+                            advance = 1;
+                        }
+                    } else {
+                        if (patbuf[j] == EOL) {
+                            if (linbuf[g_om_i] == NEWLINE) {
+                                advance = 0;
+                            }
+                        } else {
+                            if (patbuf[j] == CCL) {
+                                if (locate(linbuf[g_om_i], patbuf, j + 1)) {
+                                    advance = 1;
+                                }
+                            } else {
+                                // NCCL
+                                if ((linbuf[g_om_i] != NEWLINE) &&
+                                    (!locate(linbuf[g_om_i], patbuf, j + 1))) {
+                                    advance = 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if (advance >= 0) {
+                g_om_i = g_om_i + advance;
+                result = 1;
+            } else {
+                result = 0;
+            }
+        }
+    }
+    return result;
+}
+
+int amatch(int linbuf, int offset, int patbuf, int j) {
+    // match the pattern starting at patbuf[j] against lin from offset;
+    // returns the index just past the match, or -1
+    int i;
+    int k;
+    int result;
+    int done;
+    done = 0;
+    while ((!done) && (patbuf[j] != ENDSTR)) {
+        if (patbuf[j] == CLOSURE) {
+            j = j + patsize(patbuf, j);
+            i = offset;
+            // match as many occurrences as possible
+            while ((!done) && (linbuf[i] != ENDSTR)) {
+                g_om_i = i;
+                result = omatch(linbuf, patbuf, j);
+                i = g_om_i;
+                if (!result) {
+                    done = 1;
+                }
+            }
+            // i points at the character that made us fail; backtrack
+            done = 0;
+            k = -1;
+            while ((!done) && (i >= offset)) {
+                k = amatch(linbuf, i, patbuf, j + patsize(patbuf, j));
+                if (k >= 0) {
+                    done = 1;
+                } else {
+                    i = i - 1;
+                }
+            }
+            offset = k;
+            done = 1;
+        } else {
+            g_om_i = offset;
+            result = omatch(linbuf, patbuf, j);
+            offset = g_om_i;
+            if (!result) {
+                offset = -1;
+                done = 1;
+            } else {
+                j = j + patsize(patbuf, j);
+            }
+        }
+    }
+    return offset;
+}
+
+void putsub(int linbuf, int s1, int s2, int subbuf) {
+    // write the substitution, expanding & into lin[s1..s2)
+    int i;
+    int j;
+    i = 0;
+    while (subbuf[i] != ENDSTR) {
+        if (subbuf[i] == DITTO) {
+            j = s1;
+            while (j < s2) {
+                print(linbuf[j]);
+                j = j + 1;
+            }
+        } else {
+            print(subbuf[i]);
+        }
+        i = i + 1;
+    }
+}
+
+void subline(int linbuf, int patbuf, int subbuf) {
+    int i;
+    int lastm;
+    int m;
+    lastm = -1;
+    i = 0;
+    while (linbuf[i] != ENDSTR) {
+        m = amatch(linbuf, i, patbuf, 0);
+        if ((m >= 0) && (lastm != m)) {
+            putsub(linbuf, i, m, subbuf);
+            lastm = m;
+        }
+        if ((m == -1) || (m == i)) {
+            print(linbuf[i]);
+            i = i + 1;
+        } else {
+            i = m;
+        }
+    }
+}
+
+int getline(int s, int maxsize) {
+    // read one newline-terminated line; a leading ENDSTR means end of input
+    int c;
+    int i;
+    int result;
+    i = 0;
+    read(c);
+    if (c == ENDSTR) {
+        result = 0;
+    } else {
+        while ((c != NEWLINE) && (i < maxsize - 2)) {
+            s[i] = c;
+            i = i + 1;
+            read(c);
+        }
+        if (c == NEWLINE) {
+            s[i] = c;
+            i = i + 1;
+        }
+        s[i] = ENDSTR;
+        result = 1;
+    }
+    return result;
+}
+
+void read_arg(int s) {
+    // read a NUL-terminated command-line argument from the input stream
+    int c;
+    int i;
+    i = 0;
+    read(c);
+    while ((c != ENDSTR) && (i < MAXSTR - 1)) {
+        s[i] = c;
+        i = i + 1;
+        read(c);
+    }
+    s[i] = ENDSTR;
+}
+
+void change(int patbuf, int subbuf) {
+    int result;
+    result = getline(lin, MAXSTR);
+    while (result) {
+        subline(lin, patbuf, subbuf);
+        result = getline(lin, MAXSTR);
+    }
+}
+
+int main() {
+    int result;
+    read_arg(pat_arg);
+    read_arg(sub_arg);
+    result = getpat(pat_arg, pat);
+    if (!result) {
+        prints("change: illegal \\"from\\" pattern");
+        return 1;
+    }
+    result = getsub(sub_arg, sub);
+    if (!result) {
+        prints("change: illegal \\"to\\" string");
+        return 1;
+    }
+    change(pat, sub);
+    return 0;
+}
+"""
+
+#: Default experiment used by the Section 6.4 reproduction: replace every
+#: character in the class ``[0-9]`` with ``#`` in a small input line.
+DEFAULT_PATTERN = "[0-9]"
+DEFAULT_SUBSTITUTION = "#"
+DEFAULT_LINES = ("ab12cd9",)
+
+
+def encode_input(pattern: str = DEFAULT_PATTERN,
+                 substitution: str = DEFAULT_SUBSTITUTION,
+                 lines: Sequence[str] = DEFAULT_LINES) -> Tuple[int, ...]:
+    """Encode (pattern, substitution, lines) into the program's input stream."""
+    stream: List[int] = []
+    stream.extend(ord(ch) for ch in pattern)
+    stream.append(0)
+    stream.extend(ord(ch) for ch in substitution)
+    stream.append(0)
+    for line in lines:
+        body = line.rstrip("\n")
+        stream.extend(ord(ch) for ch in body)
+        stream.append(10)
+    stream.append(0)
+    return tuple(stream)
+
+
+def decode_output(output: Sequence) -> str:
+    """Decode the program's printed character codes back into text.
+
+    Non-integer items (``prints`` banners, the symbolic ``err``) are rendered
+    inline so that test failures remain readable.
+    """
+    pieces: List[str] = []
+    for item in output:
+        if isinstance(item, int):
+            pieces.append(chr(item) if 0 <= item < 0x110000 else f"<{item}>")
+        else:
+            pieces.append(f"<{item}>")
+    return "".join(pieces)
+
+
+def compile_replace() -> CompiledProgram:
+    """Compile the replace minic source."""
+    return compile_source(REPLACE_SOURCE, name="replace")
+
+
+def replace_workload(pattern: str = DEFAULT_PATTERN,
+                     substitution: str = DEFAULT_SUBSTITUTION,
+                     lines: Sequence[str] = DEFAULT_LINES) -> Workload:
+    """The replace workload with a configurable experiment."""
+    compiled = compile_replace()
+    return Workload(
+        name="replace",
+        program=compiled.program,
+        description="Siemens replace: pattern match and substitute",
+        data_segment=compiled.initial_memory(),
+        default_input=encode_input(pattern, substitution, lines),
+        compiled=compiled,
+        recommended_max_steps=60_000,
+    )
+
+
+# --------------------------------------------------------------------------
+# Pure-Python oracle (a direct port of the same algorithm), used by the
+# differential and property-based tests.
+# --------------------------------------------------------------------------
+
+_ENDSTR = "\0"
+_ESCAPE, _CLOSURE, _BOL, _EOL, _ANY = "@", "*", "%", "$", "?"
+_CCL, _CCLEND, _NEGATE, _NCCL, _LITCHAR = "[", "]", "^", "!", "c"
+_DASH, _NEWLINE, _TAB = "-", "\n", "\t"
+_DITTO = -1
+
+
+def _reference_makepat(arg: str):
+    """Python port of makepat/getccl/dodash/stclose; returns the encoded
+    pattern (a list of str/int) or None if the pattern is illegal."""
+    pat: List = []
+    i = 0
+    start = 0
+    lastj = 0
+    done = False
+
+    def esc_at(s: str, i: int) -> Tuple[str, int]:
+        if i >= len(s) or s[i] != _ESCAPE:
+            return (s[i] if i < len(s) else _ENDSTR), i
+        if i + 1 >= len(s):
+            return _ESCAPE, i
+        nxt = s[i + 1]
+        if nxt == "n":
+            return _NEWLINE, i + 1
+        if nxt == "t":
+            return _TAB, i + 1
+        return nxt, i + 1
+
+    def dodash(delim: str, src: str, i: int) -> int:
+        while i < len(src) and src[i] != delim:
+            if src[i] == _ESCAPE:
+                ch, i = esc_at(src, i)
+                pat.append(ch)
+            elif src[i] != _DASH:
+                pat.append(src[i])
+            elif len(pat) <= jstart + 1 or i + 1 >= len(src):
+                pat.append(_DASH)
+            elif (src[i - 1].isalnum() and src[i + 1].isalnum()
+                  and src[i - 1] <= src[i + 1]):
+                for code in range(ord(src[i - 1]) + 1, ord(src[i + 1]) + 1):
+                    pat.append(chr(code))
+                i += 1
+            else:
+                pat.append(_DASH)
+            i += 1
+        return i
+
+    while not done and i < len(arg):
+        lj = len(pat)
+        if arg[i] == _ANY:
+            pat.append(_ANY)
+        elif arg[i] == _BOL and i == start:
+            pat.append(_BOL)
+        elif arg[i] == _EOL and i + 1 == len(arg):
+            pat.append(_EOL)
+        elif arg[i] == _CCL:
+            i += 1
+            if i < len(arg) and arg[i] == _NEGATE:
+                pat.append(_NCCL)
+                i += 1
+            else:
+                pat.append(_CCL)
+            jstart = len(pat)
+            pat.append(0)
+            i = dodash(_CCLEND, arg, i)
+            pat[jstart] = len(pat) - jstart - 1
+            if i >= len(arg) or arg[i] != _CCLEND:
+                done = True
+        elif arg[i] == _CLOSURE and i > start:
+            lj = lastj
+            if pat[lj] in (_BOL, _EOL, _CLOSURE):
+                done = True
+            else:
+                pat.insert(lastj, _CLOSURE)
+        else:
+            pat.append(_LITCHAR)
+            ch, i = esc_at(arg, i)
+            pat.append(ch)
+        lastj = lj
+        if not done:
+            i += 1
+    if done:
+        return None
+    return pat
+
+
+def _reference_makesub(arg: str):
+    sub: List = []
+    i = 0
+    while i < len(arg):
+        if arg[i] == "&":
+            sub.append(_DITTO)
+        else:
+            if arg[i] == _ESCAPE and i + 1 < len(arg):
+                nxt = arg[i + 1]
+                sub.append(_NEWLINE if nxt == "n" else _TAB if nxt == "t" else nxt)
+                i += 1
+            else:
+                sub.append(arg[i])
+        i += 1
+    return sub
+
+
+def _patsize(pat, n: int) -> int:
+    entry = pat[n]
+    if entry == _LITCHAR:
+        return 2
+    if entry in (_BOL, _EOL, _ANY):
+        return 1
+    if entry in (_CCL, _NCCL):
+        return pat[n + 1] + 2
+    return 1  # CLOSURE
+
+
+def _locate(c: str, pat, offset: int) -> bool:
+    i = offset + pat[offset]
+    while i > offset:
+        if c == pat[i]:
+            return True
+        i -= 1
+    return False
+
+
+def _omatch(lin: str, i: int, pat, j: int) -> Tuple[bool, int]:
+    if i >= len(lin) or lin[i] == _ENDSTR:
+        return False, i
+    advance = -1
+    entry = pat[j]
+    if entry == _LITCHAR:
+        if lin[i] == pat[j + 1]:
+            advance = 1
+    elif entry == _BOL:
+        if i == 0:
+            advance = 0
+    elif entry == _ANY:
+        if lin[i] != _NEWLINE:
+            advance = 1
+    elif entry == _EOL:
+        if lin[i] == _NEWLINE:
+            advance = 0
+    elif entry == _CCL:
+        if _locate(lin[i], pat, j + 1):
+            advance = 1
+    else:  # NCCL
+        if lin[i] != _NEWLINE and not _locate(lin[i], pat, j + 1):
+            advance = 1
+    if advance >= 0:
+        return True, i + advance
+    return False, i
+
+
+def _amatch(lin: str, offset: int, pat, j: int) -> int:
+    done = False
+    while not done and j < len(pat):
+        if pat[j] == _CLOSURE:
+            j = j + _patsize(pat, j)
+            i = offset
+            while not done and i < len(lin) and lin[i] != _ENDSTR:
+                matched, i_next = _omatch(lin, i, pat, j)
+                if not matched:
+                    done = True
+                else:
+                    i = i_next
+            done = False
+            k = -1
+            while not done and i >= offset:
+                k = _amatch(lin, i, pat, j + _patsize(pat, j))
+                if k >= 0:
+                    done = True
+                else:
+                    i -= 1
+            offset = k
+            done = True
+        else:
+            matched, offset_next = _omatch(lin, offset, pat, j)
+            if not matched:
+                offset = -1
+                done = True
+            else:
+                offset = offset_next
+                j = j + _patsize(pat, j)
+    return offset
+
+
+def reference_replace(pattern: str, substitution: str,
+                      lines: Sequence[str]) -> Optional[str]:
+    """Pure-Python oracle for the whole replace program.
+
+    Returns the text the program writes, or ``None`` when the pattern or the
+    substitution is rejected (matching the program's error path).
+    """
+    if pattern == "":
+        return None
+    pat = _reference_makepat(pattern)
+    if pat is None:
+        return None
+    if substitution == "":
+        return None
+    sub = _reference_makesub(substitution)
+    output: List[str] = []
+    for raw_line in lines:
+        line = raw_line.rstrip("\n") + "\n"
+        lastm = -1
+        i = 0
+        while i < len(line) and line[i] != _ENDSTR:
+            m = _amatch(line, i, pat, 0)
+            if m >= 0 and lastm != m:
+                for item in sub:
+                    if item == _DITTO:
+                        output.append(line[i:m])
+                    else:
+                        output.append(item)
+                lastm = m
+            if m == -1 or m == i:
+                output.append(line[i])
+                i += 1
+            else:
+                i = m
+    return "".join(output)

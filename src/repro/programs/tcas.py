@@ -1,0 +1,298 @@
+"""The tcas workload (paper Section 6.1-6.3).
+
+tcas is the Siemens-suite version of the Traffic alert and Collision
+Avoidance System advisory logic: given twelve input parameters describing the
+own and other aircraft, it prints a single number — 0 (unresolved), 1 (upward
+advisory) or 2 (downward advisory).
+
+The paper compiles the ~140-line C program to MIPS and translates it to the
+SymPLFIED assembly language; here the same logic is expressed in minic and
+compiled to the same ISA (see DESIGN.md for the substitution argument).  The
+default input is chosen, as in the paper, so that the error-free run prints 1
+(an upward advisory); the catastrophic scenario is any undetected error that
+makes the program print 2 instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang import CompiledProgram, compile_source
+from .base import Workload
+
+
+TCAS_SOURCE = """
+// Siemens tcas, re-expressed in minic.
+
+const OLEV = 600;          // in feet/minute
+const MAXALTDIFF = 600;    // max altitude difference in feet
+const MINSEP = 300;        // min separation in feet
+const NOZCROSS = 100;      // in feet
+
+const NO_INTENT = 0;
+const DO_NOT_CLIMB = 1;
+const DO_NOT_DESCEND = 2;
+
+const TCAS_TA = 1;
+const OTHER = 2;
+
+const UNRESOLVED = 0;
+const UPWARD_RA = 1;
+const DOWNWARD_RA = 2;
+
+int Cur_Vertical_Sep;
+int High_Confidence;
+int Two_of_Three_Reports_Valid;
+
+int Own_Tracked_Alt;
+int Own_Tracked_Alt_Rate;
+int Other_Tracked_Alt;
+
+int Alt_Layer_Value;               // 0, 1, 2, 3
+int Positive_RA_Alt_Thresh[4];
+
+int Up_Separation;
+int Down_Separation;
+
+// state variables
+int Other_RAC;                     // NO_INTENT, DO_NOT_CLIMB, DO_NOT_DESCEND
+int Other_Capability;              // TCAS_TA, OTHER
+int Climb_Inhibit;                 // true / false
+
+void initialize() {
+    Positive_RA_Alt_Thresh[0] = 400;
+    Positive_RA_Alt_Thresh[1] = 500;
+    Positive_RA_Alt_Thresh[2] = 640;
+    Positive_RA_Alt_Thresh[3] = 740;
+}
+
+int ALIM() {
+    return Positive_RA_Alt_Thresh[Alt_Layer_Value];
+}
+
+int Inhibit_Biased_Climb() {
+    int bias;
+    if (Climb_Inhibit) {
+        bias = Up_Separation + NOZCROSS;
+    } else {
+        bias = Up_Separation;
+    }
+    return bias;
+}
+
+int Own_Below_Threat() {
+    return Own_Tracked_Alt < Other_Tracked_Alt;
+}
+
+int Own_Above_Threat() {
+    return Other_Tracked_Alt < Own_Tracked_Alt;
+}
+
+int Non_Crossing_Biased_Climb() {
+    int upward_preferred;
+    int result;
+
+    upward_preferred = Inhibit_Biased_Climb() > Down_Separation;
+    if (upward_preferred) {
+        result = !Own_Below_Threat() ||
+                 (Own_Below_Threat() && !(Down_Separation >= ALIM()));
+    } else {
+        result = Own_Above_Threat() &&
+                 (Cur_Vertical_Sep >= MINSEP) &&
+                 (Up_Separation >= ALIM());
+    }
+    return result;
+}
+
+int Non_Crossing_Biased_Descend() {
+    int upward_preferred;
+    int result;
+
+    upward_preferred = Inhibit_Biased_Climb() > Down_Separation;
+    if (upward_preferred) {
+        result = Own_Below_Threat() &&
+                 (Cur_Vertical_Sep >= MINSEP) &&
+                 (Down_Separation >= ALIM());
+    } else {
+        result = !Own_Above_Threat() ||
+                 (Own_Above_Threat() && (Up_Separation >= ALIM()));
+    }
+    return result;
+}
+
+int alt_sep_test() {
+    int enabled;
+    int tcas_equipped;
+    int intent_not_known;
+    int need_upward_RA;
+    int need_downward_RA;
+    int alt_sep;
+
+    enabled = High_Confidence &&
+              (Own_Tracked_Alt_Rate <= OLEV) &&
+              (Cur_Vertical_Sep > MAXALTDIFF);
+    tcas_equipped = Other_Capability == TCAS_TA;
+    intent_not_known = Two_of_Three_Reports_Valid && (Other_RAC == NO_INTENT);
+
+    alt_sep = UNRESOLVED;
+
+    if (enabled && ((tcas_equipped && intent_not_known) || !tcas_equipped)) {
+        need_upward_RA = Non_Crossing_Biased_Climb() && Own_Below_Threat();
+        need_downward_RA = Non_Crossing_Biased_Descend() && Own_Above_Threat();
+        if (need_upward_RA && need_downward_RA) {
+            alt_sep = UNRESOLVED;
+        } else {
+            if (need_upward_RA) {
+                alt_sep = UPWARD_RA;
+            } else {
+                if (need_downward_RA) {
+                    alt_sep = DOWNWARD_RA;
+                } else {
+                    alt_sep = UNRESOLVED;
+                }
+            }
+        }
+    }
+    return alt_sep;
+}
+
+int main() {
+    read(Cur_Vertical_Sep);
+    read(High_Confidence);
+    read(Two_of_Three_Reports_Valid);
+    read(Own_Tracked_Alt);
+    read(Own_Tracked_Alt_Rate);
+    read(Other_Tracked_Alt);
+    read(Alt_Layer_Value);
+    read(Up_Separation);
+    read(Down_Separation);
+    read(Other_RAC);
+    read(Other_Capability);
+    read(Climb_Inhibit);
+
+    initialize();
+    print(alt_sep_test());
+    return 0;
+}
+"""
+
+#: Names of the twelve inputs, in the order main() reads them.
+TCAS_INPUT_NAMES: Tuple[str, ...] = (
+    "Cur_Vertical_Sep", "High_Confidence", "Two_of_Three_Reports_Valid",
+    "Own_Tracked_Alt", "Own_Tracked_Alt_Rate", "Other_Tracked_Alt",
+    "Alt_Layer_Value", "Up_Separation", "Down_Separation",
+    "Other_RAC", "Other_Capability", "Climb_Inhibit",
+)
+
+#: Default input: the error-free run produces an upward advisory (prints 1),
+#: which is the experimental setup of Section 6.1.
+UPWARD_ADVISORY_INPUT: Tuple[int, ...] = (
+    700,   # Cur_Vertical_Sep  (> MAXALTDIFF)
+    1,     # High_Confidence
+    1,     # Two_of_Three_Reports_Valid
+    500,   # Own_Tracked_Alt
+    400,   # Own_Tracked_Alt_Rate (<= OLEV)
+    800,   # Other_Tracked_Alt (own aircraft is below the threat)
+    1,     # Alt_Layer_Value -> ALIM() = 500
+    700,   # Up_Separation
+    300,   # Down_Separation (< ALIM, so a non-crossing climb is preferred)
+    0,     # Other_RAC = NO_INTENT
+    1,     # Other_Capability = TCAS_TA
+    0,     # Climb_Inhibit
+)
+
+#: An input whose error-free output is a downward advisory (prints 2);
+#: used by tests to cover the symmetric case.
+DOWNWARD_ADVISORY_INPUT: Tuple[int, ...] = (
+    700,   # Cur_Vertical_Sep
+    1,     # High_Confidence
+    1,     # Two_of_Three_Reports_Valid
+    900,   # Own_Tracked_Alt (own aircraft is above the threat)
+    400,   # Own_Tracked_Alt_Rate
+    600,   # Other_Tracked_Alt
+    1,     # Alt_Layer_Value -> ALIM() = 500
+    600,   # Up_Separation (>= ALIM, descend is non-crossing)
+    700,   # Down_Separation (> Up_Separation, so downward is preferred)
+    0,     # Other_RAC
+    1,     # Other_Capability
+    0,     # Climb_Inhibit
+)
+
+
+def compile_tcas() -> CompiledProgram:
+    """Compile the tcas minic source."""
+    return compile_source(TCAS_SOURCE, name="tcas")
+
+
+def tcas_workload(input_values: Sequence[int] = UPWARD_ADVISORY_INPUT) -> Workload:
+    """The tcas workload with the paper's upward-advisory input by default."""
+    compiled = compile_tcas()
+    return Workload(
+        name="tcas",
+        program=compiled.program,
+        description="Siemens tcas advisory logic (prints 0, 1 or 2)",
+        data_segment=compiled.initial_memory(),
+        default_input=tuple(input_values),
+        compiled=compiled,
+        recommended_max_steps=5_000,
+    )
+
+
+def make_input(**overrides: int) -> Tuple[int, ...]:
+    """Build a tcas input vector starting from the upward-advisory default."""
+    values = dict(zip(TCAS_INPUT_NAMES, UPWARD_ADVISORY_INPUT))
+    for name, value in overrides.items():
+        if name not in values:
+            raise KeyError(f"unknown tcas input {name!r}")
+        values[name] = value
+    return tuple(values[name] for name in TCAS_INPUT_NAMES)
+
+
+def reference_alt_sep_test(inputs: Sequence[int]) -> int:
+    """Pure-Python oracle for the tcas logic (used by differential tests)."""
+    (cur_vertical_sep, high_confidence, two_of_three, own_alt, own_rate,
+     other_alt, alt_layer, up_sep, down_sep, other_rac, other_cap,
+     climb_inhibit) = inputs
+    thresh = (400, 500, 640, 740)
+
+    def alim() -> int:
+        return thresh[alt_layer]
+
+    def inhibit_biased_climb() -> int:
+        return up_sep + 100 if climb_inhibit else up_sep
+
+    def own_below_threat() -> bool:
+        return own_alt < other_alt
+
+    def own_above_threat() -> bool:
+        return other_alt < own_alt
+
+    def non_crossing_biased_climb() -> bool:
+        if inhibit_biased_climb() > down_sep:
+            return (not own_below_threat()) or (
+                own_below_threat() and not (down_sep >= alim()))
+        return own_above_threat() and cur_vertical_sep >= 300 and up_sep >= alim()
+
+    def non_crossing_biased_descend() -> bool:
+        if inhibit_biased_climb() > down_sep:
+            return own_below_threat() and cur_vertical_sep >= 300 and down_sep >= alim()
+        return (not own_above_threat()) or (
+            own_above_threat() and up_sep >= alim())
+
+    enabled = bool(high_confidence) and own_rate <= 600 and cur_vertical_sep > 600
+    tcas_equipped = other_cap == 1
+    intent_not_known = bool(two_of_three) and other_rac == 0
+
+    alt_sep = 0
+    if enabled and ((tcas_equipped and intent_not_known) or not tcas_equipped):
+        need_up = non_crossing_biased_climb() and own_below_threat()
+        need_down = non_crossing_biased_descend() and own_above_threat()
+        if need_up and need_down:
+            alt_sep = 0
+        elif need_up:
+            alt_sep = 1
+        elif need_down:
+            alt_sep = 2
+        else:
+            alt_sep = 0
+    return alt_sep

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def asm_file(tmp_path):
+    path = tmp_path / "prog.asm"
+    path.write_text("""
+        read $1
+        addi $2 $1 10
+        print $2
+        halt
+    """)
+    return str(path)
+
+
+@pytest.fixture()
+def minic_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text("""
+        int main() { int x; read(x); print(x * 3); return 0; }
+    """)
+    return str(path)
+
+
+@pytest.fixture()
+def detector_file(tmp_path):
+    path = tmp_path / "dets.txt"
+    path.write_text("det(1, $(2), >=, (0))\n")
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_bundled_workload(self, capsys):
+        assert main(["run", "--workload", "factorial", "--input", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "halted" in out and "24" in out
+
+    def test_run_assembly_file(self, asm_file, capsys):
+        assert main(["run", "--program", asm_file, "--input", "7"]) == 0
+        assert "17" in capsys.readouterr().out
+
+    def test_run_minic_file(self, minic_file, capsys):
+        assert main(["run", "--minic", minic_file, "--input", "5"]) == 0
+        assert "15" in capsys.readouterr().out
+
+    def test_run_crashing_program_returns_nonzero(self, asm_file, capsys):
+        # no input provided -> the read instruction crashes
+        assert main(["run", "--program", asm_file]) == 1
+        assert "input exhausted" in capsys.readouterr().out
+
+    def test_exactly_one_source_required(self, asm_file):
+        with pytest.raises(SystemExit):
+            main(["run", "--program", asm_file, "--workload", "factorial"])
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+
+class TestAnalyzeCommand:
+    def test_analyze_finds_err_outputs(self, capsys):
+        code = main(["analyze", "--workload", "factorial", "--input", "5",
+                     "--error-class", "register", "--query", "err-output",
+                     "--max-injections", "8", "--max-states", "5000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injections run" in out
+        assert "err-output" in out or "total solutions" in out
+
+    def test_analyze_with_detector_file(self, asm_file, detector_file, capsys):
+        code = main(["analyze", "--program", asm_file, "--input", "7",
+                     "--detectors", detector_file, "--query", "crash",
+                     "--max-injections", "5", "--max-states", "2000"])
+        assert code == 0
+        assert "query" in capsys.readouterr().out
+
+    def test_analyze_resilient_program_reports_proof(self, tmp_path, capsys):
+        path = tmp_path / "trivial.asm"
+        path.write_text("print $0\nhalt\n")
+        code = main(["analyze", "--program", str(path), "--query", "crash",
+                     "--max-states", "2000"])
+        assert code == 0
+        assert "resilient" in capsys.readouterr().out
+
+
+class TestConcreteCommand:
+    def test_concrete_campaign(self, capsys):
+        code = main(["concrete", "--workload", "factorial", "--input", "5",
+                     "--max-injections", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Program outcome distribution" in out
+        assert "total faults" in out

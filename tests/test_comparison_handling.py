@@ -1,0 +1,132 @@
+"""Tests for non-deterministic comparison handling and constraint recording."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import ComparisonOp, Constraint, ConstraintMap, Location
+from repro.errors.comparison import resolve_comparison
+from repro.isa.values import ERR
+
+
+REG3 = Location.register(3)
+REG4 = Location.register(4)
+
+
+class TestConcreteComparisons:
+    def test_single_deterministic_outcome(self):
+        outcomes = resolve_comparison(ConstraintMap(), ComparisonOp.GT, 5, 3)
+        assert len(outcomes) == 1
+        assert outcomes[0].result is True
+        assert outcomes[0].forked is False
+
+    def test_all_operators(self):
+        cmap = ConstraintMap()
+        for op in ComparisonOp:
+            for left, right in [(1, 2), (2, 2), (3, 2)]:
+                outcomes = resolve_comparison(cmap, op, left, right)
+                assert [o.result for o in outcomes] == [op.evaluate(left, right)]
+
+
+class TestSymbolicVsConstant:
+    def test_unconstrained_err_forks_both_ways(self):
+        outcomes = resolve_comparison(ConstraintMap(), ComparisonOp.GT, ERR, 1,
+                                      left_location=REG3)
+        results = {o.result for o in outcomes}
+        assert results == {True, False}
+        for outcome in outcomes:
+            assert outcome.forked
+
+    def test_true_branch_records_constraint(self):
+        outcomes = resolve_comparison(ConstraintMap(), ComparisonOp.GT, ERR, 1,
+                                      left_location=REG3)
+        true_branch = next(o for o in outcomes if o.result)
+        cset = true_branch.constraints.constraints_for(REG3)
+        assert cset.admits(2) and not cset.admits(1)
+
+    def test_false_branch_records_negated_constraint(self):
+        outcomes = resolve_comparison(ConstraintMap(), ComparisonOp.GT, ERR, 1,
+                                      left_location=REG3)
+        false_branch = next(o for o in outcomes if not o.result)
+        cset = false_branch.constraints.constraints_for(REG3)
+        assert cset.admits(1) and cset.admits(0) and not cset.admits(2)
+
+    def test_entailed_comparison_does_not_fork(self):
+        cmap = ConstraintMap().with_constraint(REG3, Constraint(ComparisonOp.GT, 10))
+        outcomes = resolve_comparison(cmap, ComparisonOp.GT, ERR, 5,
+                                      left_location=REG3)
+        assert len(outcomes) == 1
+        assert outcomes[0].result is True
+        assert not outcomes[0].forked
+
+    def test_refuted_comparison_does_not_fork(self):
+        cmap = ConstraintMap().with_constraint(REG3, Constraint(ComparisonOp.LT, 0))
+        outcomes = resolve_comparison(cmap, ComparisonOp.GT, ERR, 5,
+                                      left_location=REG3)
+        assert len(outcomes) == 1
+        assert outcomes[0].result is False
+
+    def test_constant_on_left_flips(self):
+        outcomes = resolve_comparison(ConstraintMap(), ComparisonOp.LT, 1, ERR,
+                                      right_location=REG3)
+        true_branch = next(o for o in outcomes if o.result)
+        # 1 < $3  ==>  $3 > 1
+        assert true_branch.constraints.constraints_for(REG3).admits(2)
+        assert not true_branch.constraints.constraints_for(REG3).admits(0)
+
+    def test_err_without_location_forks_without_constraints(self):
+        outcomes = resolve_comparison(ConstraintMap(), ComparisonOp.EQ, ERR, 5)
+        assert {o.result for o in outcomes} == {True, False}
+        for outcome in outcomes:
+            assert len(outcome.constraints) == 0
+
+
+class TestSymbolicVsSymbolic:
+    def test_two_locations_fork_and_record_relation(self):
+        outcomes = resolve_comparison(ConstraintMap(), ComparisonOp.GT, ERR, ERR,
+                                      left_location=REG3, right_location=REG4)
+        assert {o.result for o in outcomes} == {True, False}
+        for outcome in outcomes:
+            assert outcome.constraints.relational()
+
+    def test_same_location_is_reflexively_deterministic(self):
+        for op, expected in [(ComparisonOp.EQ, True), (ComparisonOp.NE, False),
+                             (ComparisonOp.GE, True), (ComparisonOp.GT, False),
+                             (ComparisonOp.LE, True), (ComparisonOp.LT, False)]:
+            outcomes = resolve_comparison(ConstraintMap(), op, ERR, ERR,
+                                          left_location=REG3, right_location=REG3)
+            assert [o.result for o in outcomes] == [expected]
+
+    def test_contradictory_relation_is_pruned(self):
+        cmap = ConstraintMap().with_relational(
+            __import__("repro.constraints", fromlist=["RelationalConstraint"])
+            .RelationalConstraint(REG3, ComparisonOp.GT, REG4))
+        outcomes = resolve_comparison(cmap, ComparisonOp.LT, ERR, ERR,
+                                      left_location=REG3, right_location=REG4)
+        # "$3 < $4" contradicts the recorded "$3 > $4": only the false branch lives
+        assert [o.result for o in outcomes] == [False]
+
+
+class TestConsistencyProperty:
+    @given(st.sampled_from(list(ComparisonOp)),
+           st.integers(min_value=-10, max_value=10),
+           st.integers(min_value=-10, max_value=10))
+    @settings(max_examples=200, deadline=None)
+    def test_repeated_comparison_is_consistent_after_fork(self, op, c1, c2):
+        """Once a branch remembers `loc op c1`, re-asking the same question
+        must not contradict the remembered answer (no false positives from
+        inconsistent forking, Section 5.2)."""
+        outcomes = resolve_comparison(ConstraintMap(), op, ERR, c1,
+                                      left_location=REG3)
+        for outcome in outcomes:
+            repeated = resolve_comparison(outcome.constraints, op, ERR, c1,
+                                          left_location=REG3)
+            assert [o.result for o in repeated] == [outcome.result]
+
+    @given(st.sampled_from(list(ComparisonOp)),
+           st.integers(min_value=-10, max_value=10))
+    @settings(max_examples=200, deadline=None)
+    def test_every_branch_constraint_map_is_satisfiable(self, op, constant):
+        outcomes = resolve_comparison(ConstraintMap(), op, ERR, constant,
+                                      left_location=REG3)
+        assert outcomes, "at least one branch must be feasible"
+        for outcome in outcomes:
+            assert outcome.constraints.satisfiable()

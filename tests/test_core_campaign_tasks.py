@@ -1,0 +1,187 @@
+"""Tests for symbolic campaigns, task decomposition and witnesses."""
+
+import pytest
+
+from repro.core import (SymbolicCampaign, TaskRunner, Witness,
+                        decompose_by_code_section, decompose_by_injection,
+                        output_contains_err, printed_value_other_than,
+                        witnesses_from_campaign)
+from repro.errors import Injection, RegisterFileError
+from repro.constraints import Location
+from repro.machine import ExecutionConfig
+from repro.programs import (factorial_workload,
+                            factorial_with_detectors_workload,
+                            loop_counter_injection_pc, sum_input_workload)
+
+
+def make_campaign(workload, **kwargs):
+    defaults = dict(max_solutions_per_injection=20,
+                    max_states_per_injection=20_000)
+    defaults.update(kwargs)
+    return SymbolicCampaign(
+        workload.program,
+        input_values=workload.default_input,
+        memory=workload.data_segment,
+        detectors=workload.detectors,
+        execution_config=ExecutionConfig(max_steps=workload.recommended_max_steps),
+        **defaults)
+
+
+class TestSymbolicCampaign:
+    def test_enumerate_injections_covers_program(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        injections = campaign.enumerate_injections()
+        assert injections
+        assert all(0 <= i.breakpoint_pc < len(workload.program) for i in injections)
+
+    def test_single_injection_result(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        subi_pc = loop_counter_injection_pc(workload)
+        injection = Injection(breakpoint_pc=subi_pc + 1, target=Location.register(3))
+        result = campaign.run_injection(injection, output_contains_err())
+        assert result.activated
+        assert result.found_solutions
+
+    def test_unactivated_injection(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        # The halt instruction is at the end; a breakpoint past it with
+        # occurrence 2 can never be reached twice.
+        injection = Injection(breakpoint_pc=0, target=Location.register(2),
+                              occurrence=2)
+        result = campaign.run_injection(injection, output_contains_err())
+        assert not result.activated
+        assert not result.found_solutions
+        assert result.completed
+
+    def test_full_campaign_on_small_program(self):
+        workload = sum_input_workload(count=2, values=(3, 4))
+        campaign = make_campaign(workload, max_solutions_per_injection=5,
+                                 max_states_per_injection=5_000)
+        golden = workload.golden_output()
+        query = printed_value_other_than(golden[-1])
+        result = campaign.run(query)
+        assert result.injections_run == len(campaign.enumerate_injections())
+        assert result.injections_activated > 0
+        assert result.total_solutions >= result.injections_with_solutions
+        assert "injections run" in result.describe()
+        # classification against the golden output never yields "correct"
+        for _injection, outcome in result.outcomes(golden):
+            assert outcome.kind.value != "correct"
+
+    def test_detectors_catch_some_errors(self):
+        """For the Figure 3 program, the same loop-counter error that slips
+        through the unprotected program is caught by detector 2 on at least
+        one execution path (Section 4.2)."""
+        from repro.core import detected
+
+        protected = factorial_with_detectors_workload()
+        campaign = make_campaign(protected, max_solutions_per_injection=50,
+                                 max_states_per_injection=30_000)
+        subi_pc = next(i for i, ins in enumerate(protected.program.code)
+                       if ins.opcode == "subi")
+        injections = [Injection(breakpoint_pc=subi_pc + 1,
+                                target=Location.register(3))]
+        detected_result = campaign.run(detected(), injections=injections)
+        assert detected_result.total_solutions > 0
+        # ... but not every path is caught: some errors still evade detection.
+        missed_result = campaign.run(output_contains_err(), injections=injections)
+        assert missed_result.total_solutions > 0
+
+    def test_progress_callback(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        injections = campaign.enumerate_injections()[:3]
+        seen = []
+        campaign.run(output_contains_err(), injections=injections,
+                     progress=lambda done, total, result: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestTaskDecomposition:
+    def sample_injections(self, count=10):
+        return [Injection(breakpoint_pc=pc, target=Location.register(1))
+                for pc in range(count)]
+
+    def test_decompose_by_code_section_partitions_everything(self):
+        injections = self.sample_injections(10)
+        tasks = decompose_by_code_section(injections, num_tasks=3)
+        assert len(tasks) == 3
+        flattened = [i for task in tasks for i in task.injections]
+        assert sorted(i.breakpoint_pc for i in flattened) == list(range(10))
+        # contiguous sections
+        for task in tasks:
+            pcs = [i.breakpoint_pc for i in task.injections]
+            assert pcs == sorted(pcs)
+
+    def test_more_tasks_than_injections(self):
+        tasks = decompose_by_code_section(self.sample_injections(2), num_tasks=10)
+        assert len(tasks) == 2
+
+    def test_invalid_task_count(self):
+        with pytest.raises(ValueError):
+            decompose_by_code_section(self.sample_injections(2), num_tasks=0)
+
+    def test_decompose_by_injection(self):
+        tasks = decompose_by_injection(self.sample_injections(4))
+        assert len(tasks) == 4
+        assert all(len(task) == 1 for task in tasks)
+
+
+class TestTaskRunner:
+    def test_task_report_statistics(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload, max_solutions_per_injection=5,
+                                 max_states_per_injection=5_000)
+        injections = campaign.enumerate_injections()
+        tasks = decompose_by_code_section(injections, num_tasks=4)
+        runner = TaskRunner(campaign, max_errors_per_task=5)
+        report = runner.run(tasks, output_contains_err())
+        assert report.total_tasks == 4
+        assert report.completed_tasks + report.incomplete_tasks == 4
+        assert report.tasks_with_errors + report.tasks_without_errors \
+            <= report.completed_tasks
+        assert report.total_errors_found >= report.tasks_with_errors
+        assert report.average_completion_seconds() >= 0.0
+        assert "search tasks" in report.describe()
+
+    def test_error_cap_limits_task(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload, max_solutions_per_injection=5,
+                                 max_states_per_injection=5_000)
+        injections = campaign.enumerate_injections()
+        tasks = decompose_by_code_section(injections, num_tasks=1)
+        runner = TaskRunner(campaign, max_errors_per_task=1)
+        report = runner.run(tasks, output_contains_err())
+        task_result = report.task_results[0]
+        # the task stops sweeping soon after the first errors are found
+        assert len(task_result.results) < len(injections)
+
+    def test_wall_clock_cap_marks_incomplete(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        injections = campaign.enumerate_injections()
+        tasks = decompose_by_code_section(injections, num_tasks=1)
+        runner = TaskRunner(campaign, max_errors_per_task=10_000,
+                            wall_clock_per_task=0.0)
+        report = runner.run(tasks, output_contains_err())
+        assert report.incomplete_tasks == 1
+
+
+class TestWitnesses:
+    def test_witness_rendering(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        subi_pc = loop_counter_injection_pc(workload)
+        injections = [Injection(breakpoint_pc=subi_pc + 1,
+                                target=Location.register(3))]
+        result = campaign.run(output_contains_err(), injections=injections)
+        witnesses = witnesses_from_campaign(workload.program, result,
+                                            golden_output=workload.golden_output())
+        assert witnesses
+        text = witnesses[0].render()
+        assert "injection" in text
+        assert "outcome" in text
+        assert witnesses[0].outcome.kind.value in text

@@ -1,0 +1,211 @@
+"""Tests for outcomes, queries and the bounded model checker."""
+
+import pytest
+
+from repro.constraints import Location
+from repro.core import (BoundedModelChecker, OutcomeKind, classify, crashed,
+                        detected, golden_run_output, halted_normally, hung,
+                        incorrect_output, output_contains_err, output_differs,
+                        output_equals, printed_value, printed_value_other_than,
+                        undetected_failure)
+from repro.errors import Injection, prepare_injected_state
+from repro.isa.parser import assemble
+from repro.isa.values import ERR
+from repro.machine import ExecutionConfig, Executor, MachineState, Status, initial_state
+from repro.programs import factorial_workload, loop_counter_injection_pc
+
+
+def terminal_state(status, output=(), exception=None, detector_id=None):
+    state = MachineState()
+    for item in output:
+        state.append_output(item)
+    if status is Status.HALTED:
+        state.halt()
+    elif status is Status.EXCEPTION:
+        state.throw(exception or "boom")
+    elif status is Status.TIMEOUT:
+        state.time_out("timed out")
+    elif status is Status.DETECTED:
+        state.detect(detector_id or 1, "detector fired")
+    return state
+
+
+class TestOutcomeClassification:
+    def test_correct(self):
+        state = terminal_state(Status.HALTED, output=[1])
+        assert classify(state, golden_output=(1,)).kind is OutcomeKind.CORRECT
+
+    def test_incorrect_output(self):
+        state = terminal_state(Status.HALTED, output=[2])
+        outcome = classify(state, golden_output=(1,))
+        assert outcome.kind is OutcomeKind.INCORRECT_OUTPUT
+        assert outcome.kind.is_failure()
+
+    def test_err_output(self):
+        state = terminal_state(Status.HALTED, output=[ERR])
+        assert classify(state, golden_output=(1,)).kind is OutcomeKind.ERR_OUTPUT
+
+    def test_crash_hang_detected(self):
+        assert classify(terminal_state(Status.EXCEPTION)).kind is OutcomeKind.CRASH
+        assert classify(terminal_state(Status.TIMEOUT)).kind is OutcomeKind.HANG
+        outcome = classify(terminal_state(Status.DETECTED, detector_id=7))
+        assert outcome.kind is OutcomeKind.DETECTED
+        assert not outcome.kind.is_failure()
+
+    def test_running_state_rejected(self):
+        with pytest.raises(ValueError):
+            classify(MachineState())
+
+    def test_describe_mentions_output(self):
+        outcome = classify(terminal_state(Status.HALTED, output=[5]), golden_output=(1,))
+        assert "5" in outcome.describe()
+
+    def test_golden_run_output(self):
+        workload = factorial_workload()
+        assert golden_run_output(workload.program, workload.default_input) == \
+            ("Factorial = ", 120)
+
+
+class TestQueries:
+    def test_primitive_queries(self):
+        halted = terminal_state(Status.HALTED, output=[3])
+        crashed_state = terminal_state(Status.EXCEPTION)
+        err_state = terminal_state(Status.HALTED, output=[ERR])
+
+        assert halted_normally()(halted)
+        assert not halted_normally()(crashed_state)
+        assert crashed()(crashed_state)
+        assert hung()(terminal_state(Status.TIMEOUT))
+        assert detected()(terminal_state(Status.DETECTED))
+        assert output_contains_err()(err_state)
+        assert printed_value(3)(halted)
+        assert output_equals([3])(halted)
+        assert output_differs([4])(halted)
+
+    def test_combinators(self):
+        state = terminal_state(Status.HALTED, output=[2])
+        query = halted_normally() & output_differs([1])
+        assert query(state)
+        assert not (~query)(state)
+        assert (crashed() | halted_normally())(state)
+        assert "and" in query.description
+
+    def test_incorrect_output_query(self):
+        query = incorrect_output([1])
+        assert query(terminal_state(Status.HALTED, output=[2]))
+        assert not query(terminal_state(Status.HALTED, output=[1]))
+        assert not query(terminal_state(Status.EXCEPTION, output=[2]))
+
+    def test_undetected_failure_query(self):
+        query = undetected_failure([1])
+        assert query(terminal_state(Status.EXCEPTION))
+        assert query(terminal_state(Status.HALTED, output=[9]))
+        assert not query(terminal_state(Status.DETECTED))
+        assert not query(terminal_state(Status.HALTED, output=[1]))
+
+    def test_printed_value_other_than(self):
+        query = printed_value_other_than(1)
+        assert query(terminal_state(Status.HALTED, output=[2]))
+        assert query(terminal_state(Status.HALTED, output=[ERR]))
+        assert not query(terminal_state(Status.HALTED, output=[1]))
+        assert not query(terminal_state(Status.EXCEPTION, output=[2]))
+        allowed = printed_value_other_than(1, allowed=(0,))
+        assert not allowed(terminal_state(Status.HALTED, output=[0]))
+
+
+class TestBoundedModelChecker:
+    def make_factorial_search(self, **checker_kwargs):
+        workload = factorial_workload()
+        executor = Executor(workload.program, workload.detectors,
+                            ExecutionConfig(max_steps=200))
+        checker = BoundedModelChecker(executor, **checker_kwargs)
+        subi_pc = loop_counter_injection_pc(workload)
+        injection = Injection(breakpoint_pc=subi_pc + 1,
+                              target=Location.register(3))
+        injected = prepare_injected_state(workload.program, injection,
+                                          workload.initial_state())
+        return checker, injected
+
+    def test_search_finds_err_outputs(self):
+        checker, injected = self.make_factorial_search(max_solutions=50,
+                                                       max_states=50_000)
+        result = checker.search_single(injected, output_contains_err())
+        assert result.found
+        assert all(sol.state.output_contains_err() for sol in result.solutions)
+        assert result.statistics.explored_states > 0
+        assert "solutions" in result.describe()
+
+    def test_exhaustive_search_completes(self):
+        checker, injected = self.make_factorial_search(max_solutions=1000,
+                                                       max_states=100_000)
+        result = checker.search_single(injected, output_contains_err())
+        assert result.completed
+        assert result.stop_reason == "exhausted"
+
+    def test_solution_cap_stops_early(self):
+        checker, injected = self.make_factorial_search(max_solutions=1,
+                                                       max_states=100_000)
+        result = checker.search_single(injected, printed_value_other_than(120))
+        assert len(result.solutions) == 1
+        assert not result.completed
+        assert result.stop_reason == "solution cap reached"
+
+    def test_state_budget_stops_early(self):
+        checker, injected = self.make_factorial_search(max_solutions=1000,
+                                                       max_states=3)
+        result = checker.search_single(injected, output_contains_err())
+        assert not result.completed
+        assert result.stop_reason == "state budget exhausted"
+
+    def test_no_error_no_solutions_is_a_proof(self):
+        workload = factorial_workload()
+        executor = Executor(workload.program, workload.detectors,
+                            ExecutionConfig(max_steps=200))
+        checker = BoundedModelChecker(executor, max_solutions=10,
+                                      max_states=10_000)
+        result = checker.search_single(workload.initial_state(), crashed())
+        assert result.completed and not result.found
+
+    def test_factorial_outcomes_match_paper_fig2(self):
+        """Injecting err into the loop counter after the k-th decrement must
+        yield exactly the partial products the paper lists (Section 4.1)."""
+        workload = factorial_workload()
+        executor = Executor(workload.program, workload.detectors,
+                            ExecutionConfig(max_steps=150))
+        checker = BoundedModelChecker(executor, max_solutions=500,
+                                      max_states=100_000)
+        subi_pc = loop_counter_injection_pc(workload)
+        printed = set()
+        for occurrence in range(1, 6):
+            injection = Injection(breakpoint_pc=subi_pc + 1,
+                                  target=Location.register(3),
+                                  occurrence=occurrence)
+            injected = prepare_injected_state(workload.program, injection,
+                                              workload.initial_state())
+            if injected is None:
+                continue
+            result = checker.search_single(injected, halted_normally())
+            for solution in result.solutions:
+                values = solution.state.printed_integers()
+                if values and not values[-1] is ERR:
+                    printed.add(values[-1])
+        assert {5, 20, 60, 120}.issubset(printed)
+
+    def test_concretize_option_gives_same_outcomes(self):
+        workload = factorial_workload()
+        executor = Executor(workload.program, workload.detectors,
+                            ExecutionConfig(max_steps=150))
+        subi_pc = loop_counter_injection_pc(workload)
+        injection = Injection(breakpoint_pc=subi_pc + 1, target=Location.register(3))
+
+        outputs = {}
+        for concretize in (True, False):
+            checker = BoundedModelChecker(executor, max_solutions=1000,
+                                          max_states=100_000,
+                                          concretize=concretize)
+            injected = prepare_injected_state(workload.program, injection,
+                                              workload.initial_state())
+            result = checker.search_single(injected, halted_normally())
+            outputs[concretize] = {sol.state.output_values()
+                                   for sol in result.solutions}
+        assert outputs[True] == outputs[False]

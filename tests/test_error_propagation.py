@@ -1,0 +1,109 @@
+"""Tests for the arithmetic error-propagation rules (paper Section 5.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors.propagation import (IMMEDIATE_ALIASES, NonDeterministicOperation,
+                                      concrete_binary, symbolic_binary, unary_result)
+from repro.isa.values import ERR, is_err
+
+
+class TestConcreteArithmetic:
+    def test_basic_operations(self):
+        assert concrete_binary("add", 3, 4) == 7
+        assert concrete_binary("sub", 3, 4) == -1
+        assert concrete_binary("mult", 3, 4) == 12
+        assert concrete_binary("and", 12, 10) == 8
+        assert concrete_binary("or", 12, 10) == 14
+        assert concrete_binary("xor", 12, 10) == 6
+        assert concrete_binary("sll", 3, 2) == 12
+        assert concrete_binary("srl", 12, 2) == 3
+
+    def test_division_truncates_toward_zero(self):
+        assert concrete_binary("div", 7, 2) == 3
+        assert concrete_binary("div", -7, 2) == -3
+        assert concrete_binary("div", 7, -2) == -3
+        assert concrete_binary("div", -7, -2) == 3
+
+    def test_modulo_consistent_with_division(self):
+        for a in (-7, -1, 0, 5, 13):
+            for b in (-3, -1, 1, 4):
+                assert (concrete_binary("div", a, b) * b
+                        + concrete_binary("mod", a, b)) == a
+
+
+class TestErrPropagationRules:
+    def test_add_sub_with_err(self):
+        assert is_err(symbolic_binary("add", ERR, 5))
+        assert is_err(symbolic_binary("add", 5, ERR))
+        assert is_err(symbolic_binary("add", ERR, ERR))
+        assert is_err(symbolic_binary("sub", ERR, 5))
+        assert is_err(symbolic_binary("sub", 5, ERR))
+
+    def test_multiplication_by_zero_masks_error(self):
+        # err * 0 = 0 and 0 * err = 0 (the paper's masking rule)
+        assert symbolic_binary("mult", ERR, 0) == 0
+        assert symbolic_binary("mult", 0, ERR) == 0
+        assert is_err(symbolic_binary("mult", ERR, 3))
+        assert is_err(symbolic_binary("mult", 3, ERR))
+
+    def test_and_with_zero_masks_error(self):
+        assert symbolic_binary("and", ERR, 0) == 0
+        assert symbolic_binary("and", 0, ERR) == 0
+        assert is_err(symbolic_binary("and", ERR, 5))
+
+    def test_err_times_err_requires_fork(self):
+        with pytest.raises(NonDeterministicOperation) as excinfo:
+            symbolic_binary("mult", ERR, ERR)
+        assert excinfo.value.reason == "multiply_symbolic"
+
+    def test_division_by_err_requires_fork(self):
+        with pytest.raises(NonDeterministicOperation) as excinfo:
+            symbolic_binary("div", 5, ERR)
+        assert excinfo.value.reason == "divide_by_symbolic"
+        with pytest.raises(NonDeterministicOperation):
+            symbolic_binary("mod", ERR, ERR)
+
+    def test_err_divided_by_concrete(self):
+        assert is_err(symbolic_binary("div", ERR, 3))
+        with pytest.raises(ZeroDivisionError):
+            symbolic_binary("div", ERR, 0)
+
+    def test_concrete_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            symbolic_binary("div", 4, 0)
+        with pytest.raises(ZeroDivisionError):
+            symbolic_binary("mod", 4, 0)
+
+    def test_immediate_aliases_map_to_same_operator(self):
+        assert symbolic_binary("addi", 2, 3) == 5
+        assert symbolic_binary("ori", 8, 1) == 9
+        assert is_err(symbolic_binary("subi", ERR, 1))
+        for alias, operator in IMMEDIATE_ALIASES.items():
+            assert operator in ("add", "sub", "mult", "div", "mod", "or",
+                                "and", "xor", "sll", "srl")
+
+    def test_unary_result(self):
+        assert unary_result(5) == 5
+        assert is_err(unary_result(ERR))
+
+
+class TestPropagationProperties:
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=200, deadline=None)
+    def test_symbolic_binary_matches_concrete_on_concrete_inputs(self, a, b):
+        for op in ("add", "sub", "mult", "and", "or", "xor"):
+            assert symbolic_binary(op, a, b) == concrete_binary(op, a, b)
+        if b != 0:
+            assert symbolic_binary("div", a, b) == concrete_binary("div", a, b)
+            assert symbolic_binary("mod", a, b) == concrete_binary("mod", a, b)
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=100, deadline=None)
+    def test_err_absorbs_nonzero_multiplication(self, value):
+        result = symbolic_binary("mult", ERR, value)
+        if value == 0:
+            assert result == 0
+        else:
+            assert is_err(result)

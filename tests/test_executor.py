@@ -1,0 +1,299 @@
+"""Tests for the symbolic executor and the lean concrete interpreter."""
+
+import pytest
+
+from repro.constraints import Location
+from repro.detectors import DetectorSet
+from repro.isa.parser import assemble
+from repro.isa.values import ERR, is_err
+from repro.machine import (DIVIDE_BY_ZERO, ExecutionConfig, Executor,
+                           ILLEGAL_ADDRESS, ILLEGAL_INSTRUCTION, INPUT_EXHAUSTED,
+                           MachineModelError, MachineState, Status, TIMED_OUT,
+                           concrete_step, initial_state, run_concrete,
+                           run_concrete_until)
+from repro.machine.executor import SymbolicValueEncountered
+from repro.machine.state import state_contains_err
+
+
+def run_symbolic(source, state=None, detectors=DetectorSet(), max_steps=500,
+                 **config_kwargs):
+    program = assemble(source)
+    executor = Executor(program, detectors,
+                        ExecutionConfig(max_steps=max_steps, **config_kwargs))
+    state = state or initial_state()
+    return executor.run(state)
+
+
+class TestArithmeticSemantics:
+    def test_add_and_immediate_forms(self):
+        finals = run_symbolic("li $1 4\naddi $2 $1 3\nadd $3 $2 $1\nprint $3\nhalt\n")
+        assert len(finals) == 1
+        assert finals[0].output_values() == (11,)
+
+    def test_divide_by_zero_crashes(self):
+        finals = run_symbolic("li $1 3\nli $2 0\ndiv $3 $1 $2\nhalt\n")
+        assert finals[0].crashed
+        assert finals[0].exception == DIVIDE_BY_ZERO
+
+    def test_division_by_symbolic_value_forks(self):
+        program = assemble("div $3 $1 $2\nprint $3\nhalt\n")
+        executor = Executor(program, config=ExecutionConfig(max_steps=50))
+        state = initial_state()
+        state.write_register(1, 10)
+        state.write_register(2, ERR)
+        finals = executor.run(state)
+        statuses = {(s.status, s.exception) for s in finals}
+        assert (Status.EXCEPTION, DIVIDE_BY_ZERO) in statuses
+        assert any(s.status is Status.HALTED and is_err(s.output_values()[0])
+                   for s in finals)
+
+    def test_mult_err_by_zero_register_masks(self):
+        program = assemble("mult $3 $1 $2\nprint $3\nhalt\n")
+        executor = Executor(program, config=ExecutionConfig(max_steps=50))
+        state = initial_state()
+        state.write_register(1, ERR)
+        state.write_register(2, 0)
+        finals = executor.run(state)
+        assert [s.output_values() for s in finals] == [(0,)]
+
+
+class TestCompareAndBranchSemantics:
+    def test_concrete_branch(self):
+        finals = run_symbolic("""
+            li $1 3
+            beq $1 3 yes
+            print $0
+            halt
+        yes: li $2 99
+            print $2
+            halt
+        """)
+        assert finals[0].output_values() == (99,)
+
+    def test_symbolic_branch_forks_into_both_paths(self):
+        program = assemble("""
+            beq $1 0 zero
+            prints "nonzero"
+            halt
+        zero: prints "zero"
+            halt
+        """)
+        executor = Executor(program, config=ExecutionConfig(max_steps=50))
+        state = initial_state()
+        state.write_register(1, ERR)
+        finals = executor.run(state)
+        outputs = {s.output_values()[0] for s in finals}
+        assert outputs == {"zero", "nonzero"}
+
+    def test_symbolic_compare_sets_zero_or_one(self):
+        program = assemble("setgt $2 $1 $0\nprint $2\nhalt\n")
+        executor = Executor(program, config=ExecutionConfig(max_steps=50))
+        state = initial_state()
+        state.write_register(1, ERR)
+        finals = executor.run(state)
+        assert {s.output_values()[0] for s in finals} == {0, 1}
+
+    def test_consistent_forks_no_contradictory_path(self):
+        # Once the first branch decides $1 == 0, the second branch must agree.
+        program = assemble("""
+            beq $1 0 first_zero
+            beq $1 0 impossible
+            prints "nonzero twice"
+            halt
+        impossible: prints "contradiction"
+            halt
+        first_zero: prints "zero"
+            halt
+        """)
+        executor = Executor(program, config=ExecutionConfig(max_steps=50))
+        state = initial_state()
+        state.write_register(1, ERR)
+        finals = executor.run(state)
+        outputs = {s.output_values()[0] for s in finals}
+        assert "contradiction" not in outputs
+        assert outputs == {"zero", "nonzero twice"}
+
+
+class TestMemorySemantics:
+    def test_store_then_load(self):
+        finals = run_symbolic("""
+            li $1 500
+            li $2 77
+            sti $2 $1 0
+            ldi $3 $1 0
+            print $3
+            halt
+        """)
+        assert finals[0].output_values() == (77,)
+
+    def test_load_from_undefined_address_crashes(self):
+        finals = run_symbolic("li $1 123\nldi $2 $1 0\nhalt\n")
+        assert finals[0].crashed
+        assert finals[0].exception == ILLEGAL_ADDRESS
+
+    def test_load_through_err_pointer_forks(self):
+        program = assemble("ldi $2 $1 0\nprint $2\nhalt\n")
+        executor = Executor(program, config=ExecutionConfig(max_steps=50))
+        state = initial_state(memory={100: 7, 200: 9})
+        state.write_register(1, ERR)
+        finals = executor.run(state)
+        outcomes = {s.exception if s.crashed else s.output_values()[0] for s in finals}
+        assert ILLEGAL_ADDRESS in outcomes
+        assert 7 in outcomes and 9 in outcomes
+
+    def test_store_through_err_pointer_forks(self):
+        program = assemble("sti $2 $1 0\nhalt\n")
+        executor = Executor(program, config=ExecutionConfig(max_steps=50))
+        state = initial_state(memory={100: 7})
+        state.write_register(1, ERR)
+        state.write_register(2, 55)
+        finals = executor.run(state)
+        assert all(s.status is Status.HALTED for s in finals)
+        # one fork overwrites the existing word, one creates a new word
+        overwrote = any(s.memory.get(100) == 55 for s in finals)
+        created = any(s.memory.get(101) == 55 for s in finals)
+        assert overwrote and created
+
+
+class TestControlSemantics:
+    def test_jal_and_jr(self):
+        finals = run_symbolic("""
+            jal callee
+            print $2
+            halt
+        callee: li $2 5
+            jr $31
+        """)
+        assert finals[0].output_values() == (5,)
+
+    def test_jr_to_invalid_address_crashes(self):
+        finals = run_symbolic("li $1 999\njr $1\nhalt\n")
+        assert finals[0].crashed
+        assert finals[0].exception == ILLEGAL_INSTRUCTION
+
+    def test_jr_with_err_target_forks_to_labels_and_crash(self):
+        program = assemble("""
+            jr $1
+        a:  prints "a"
+            halt
+        b:  prints "b"
+            halt
+        """)
+        executor = Executor(program, config=ExecutionConfig(
+            max_steps=50, control_fork_domain="labels"))
+        state = initial_state()
+        state.write_register(1, ERR)
+        finals = executor.run(state)
+        outcomes = {s.exception if s.crashed else s.output_values()[0] for s in finals}
+        assert outcomes == {ILLEGAL_INSTRUCTION, "a", "b"}
+
+    def test_corrupted_pc_at_fetch_forks(self):
+        program = assemble("x: prints \"x\"\nhalt\n")
+        executor = Executor(program, config=ExecutionConfig(max_steps=50))
+        state = initial_state()
+        state.pc = ERR
+        finals = executor.run(state)
+        outcomes = {s.exception if s.crashed else s.output_values()[0] for s in finals}
+        assert ILLEGAL_INSTRUCTION in outcomes and "x" in outcomes
+
+    def test_exception_only_domain_suppresses_landing_forks(self):
+        program = assemble("jr $1\na: halt\n")
+        executor = Executor(program, config=ExecutionConfig(
+            max_steps=50, control_fork_domain="exception_only"))
+        state = initial_state()
+        state.write_register(1, ERR)
+        finals = executor.run(state)
+        assert len(finals) == 1 and finals[0].crashed
+
+
+class TestIOAndSpecial:
+    def test_read_print_prints(self):
+        program = assemble("read $1\nprints \"value: \"\nprint $1\nhalt\n")
+        executor = Executor(program, config=ExecutionConfig(max_steps=50))
+        finals = executor.run(initial_state(input_values=[42]))
+        assert finals[0].output_values() == ("value: ", 42)
+
+    def test_read_with_exhausted_input_crashes(self):
+        finals = run_symbolic("read $1\nhalt\n")
+        assert finals[0].crashed
+        assert finals[0].exception == INPUT_EXHAUSTED
+
+    def test_throw_crashes_with_message(self):
+        finals = run_symbolic('throw "custom failure"\nhalt\n')
+        assert finals[0].crashed
+        assert finals[0].exception == "custom failure"
+
+    def test_fall_off_end_is_illegal_instruction(self):
+        finals = run_symbolic("nop\n")
+        assert finals[0].crashed
+        assert finals[0].exception == ILLEGAL_INSTRUCTION
+
+    def test_watchdog_timeout(self):
+        finals = run_symbolic("loop: beq $0 0 loop\nhalt\n", max_steps=25)
+        assert finals[0].hung
+        assert finals[0].exception == TIMED_OUT
+
+    def test_stepping_terminated_state_is_an_error(self):
+        program = assemble("halt\n")
+        executor = Executor(program)
+        state = initial_state()
+        final = executor.run(state)[0]
+        with pytest.raises(MachineModelError):
+            executor.step(final)
+
+
+class TestConcreteInterpreter:
+    def test_agrees_with_symbolic_on_concrete_program(self):
+        source = """
+            li $1 10
+            li $2 0
+            li $3 0
+        loop: setge $4 $3 $1
+            bne $4 0 done
+            add $2 $2 $3
+            addi $3 $3 1
+            beq $0 0 loop
+        done: print $2
+            halt
+        """
+        program = assemble(source)
+        symbolic_final = Executor(program, config=ExecutionConfig(max_steps=500)) \
+            .run(initial_state())[0]
+        concrete_final = run_concrete(program, initial_state())
+        assert symbolic_final.output_values() == concrete_final.output_values() == (45,)
+        assert concrete_final.steps == symbolic_final.steps
+
+    def test_concrete_step_rejects_symbolic_state(self):
+        program = assemble("print $1\nhalt\n")
+        state = initial_state()
+        state.write_register(1, ERR)
+        with pytest.raises(SymbolicValueEncountered):
+            concrete_step(program, state)
+
+    def test_run_concrete_until_positions_at_breakpoint(self):
+        program = assemble("li $1 1\nli $2 2\nli $3 3\nhalt\n")
+        state = initial_state()
+        run_concrete_until(program, state, stop_pc=2)
+        assert state.pc == 2
+        assert state.read_register(2) == 2
+        assert state.read_register(3) == 0
+
+    def test_run_concrete_until_occurrence(self):
+        source = """
+            li $1 0
+        loop: addi $1 $1 1
+            setgei $2 $1 3
+            beq $2 0 loop
+            halt
+        """
+        program = assemble(source)
+        state = initial_state()
+        run_concrete_until(program, state, stop_pc=1, occurrence=2)
+        assert state.pc == 1
+        assert state.read_register(1) == 1
+
+    def test_run_concrete_timeout(self):
+        program = assemble("loop: beq $0 0 loop\n")
+        state = initial_state()
+        run_concrete(program, state, max_steps=10)
+        assert state.hung

@@ -1,0 +1,105 @@
+"""Tests for the instruction set definition and metadata."""
+
+import pytest
+
+from repro.isa.instructions import (ARITHMETIC_RRI, ARITHMETIC_RRR, COMPARE_RRR,
+                                    Category, INSTRUCTION_SET, Instruction,
+                                    InvalidInstructionError, NUM_REGISTERS,
+                                    RETURN_ADDRESS_REGISTER, is_control_transfer,
+                                    make, reads_memory, writes_memory)
+
+
+class TestInstructionTable:
+    def test_all_arithmetic_opcodes_present(self):
+        for opcode in ARITHMETIC_RRR + ARITHMETIC_RRI:
+            assert opcode in INSTRUCTION_SET
+
+    def test_every_spec_is_consistent(self):
+        for opcode, spec in INSTRUCTION_SET.items():
+            assert spec.opcode == opcode
+            for index in spec.reads + spec.writes:
+                assert 0 <= index < len(spec.signature)
+                assert spec.signature[index].value == "reg"
+
+    def test_expected_instruction_count(self):
+        # 8 RRR + 10 RRI arithmetic, 6+6 compares, mov/li, ldi/sti, beq/bne,
+        # jmp/jal/jr, read/print/prints, check, halt/nop/throw
+        assert len(INSTRUCTION_SET) == 8 + 10 + 12 + 2 + 2 + 2 + 3 + 3 + 1 + 3
+
+
+class TestMakeAndValidate:
+    def test_make_valid_instruction(self):
+        instruction = make("add", 1, 2, 3)
+        assert instruction.opcode == "add"
+        assert instruction.operands == (1, 2, 3)
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(InvalidInstructionError):
+            Instruction("frobnicate", ()).validate()
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(InvalidInstructionError):
+            make("add", 1, 2)
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(InvalidInstructionError):
+            make("add", NUM_REGISTERS, 0, 0)
+
+    def test_label_operand_must_be_string(self):
+        with pytest.raises(InvalidInstructionError):
+            make("jmp", 5)
+
+    def test_immediate_must_be_int(self):
+        with pytest.raises(InvalidInstructionError):
+            make("addi", 1, 2, "three")
+
+
+class TestRegisterMetadata:
+    def test_arithmetic_reads_and_writes(self):
+        instruction = make("add", 4, 5, 6)
+        assert instruction.registers_read() == (5, 6)
+        assert instruction.registers_written() == (4,)
+        assert instruction.registers_used() == (5, 6, 4)
+
+    def test_store_reads_value_and_base(self):
+        instruction = make("sti", 7, 29, -4)
+        assert instruction.registers_read() == (7, 29)
+        assert instruction.registers_written() == ()
+
+    def test_load_writes_destination(self):
+        instruction = make("ldi", 7, 29, 4)
+        assert instruction.registers_written() == (7,)
+
+    def test_jal_implicitly_writes_ra(self):
+        instruction = make("jal", "target")
+        assert RETURN_ADDRESS_REGISTER in instruction.registers_written()
+
+    def test_registers_used_deduplicates(self):
+        instruction = make("add", 3, 3, 3)
+        assert instruction.registers_used() == (3,)
+
+
+class TestCategories:
+    def test_control_transfer_predicate(self):
+        assert is_control_transfer(make("beq", 1, 0, "x"))
+        assert is_control_transfer(make("jmp", "x"))
+        assert is_control_transfer(make("jal", "x"))
+        assert is_control_transfer(make("jr", 31))
+        assert not is_control_transfer(make("add", 1, 2, 3))
+
+    def test_memory_predicates(self):
+        assert reads_memory(make("ldi", 1, 2, 0))
+        assert writes_memory(make("sti", 1, 2, 0))
+        assert not reads_memory(make("sti", 1, 2, 0))
+
+    def test_compare_category(self):
+        for opcode in COMPARE_RRR:
+            assert make(opcode, 1, 2, 3).category is Category.COMPARE
+
+
+class TestRendering:
+    def test_render_round_trip_style(self):
+        assert make("addi", 3, 4, -7).render() == "addi $3 $4 #-7"
+        assert make("beq", 5, 0, "exit").render() == "beq $5 #0 exit"
+        assert make("prints", 'hello "world"').render() == 'prints "hello \\"world\\""'
+        assert str(make("halt")) == "halt"

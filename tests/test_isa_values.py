@@ -1,0 +1,55 @@
+"""Tests for the value domain (the err symbol and helpers)."""
+
+import copy
+
+import pytest
+
+from repro.isa.values import ERR, ErrValue, format_value, is_concrete, is_err, require_concrete
+
+
+class TestErrValue:
+    def test_err_is_singleton(self):
+        assert ErrValue() is ERR
+        assert ErrValue() is ErrValue()
+
+    def test_repr_and_str(self):
+        assert repr(ERR) == "err"
+        assert str(ERR) == "err"
+
+    def test_copy_preserves_identity(self):
+        assert copy.copy(ERR) is ERR
+        assert copy.deepcopy(ERR) is ERR
+
+    def test_hashable(self):
+        assert hash(ERR) == hash(ErrValue())
+        assert len({ERR, ErrValue()}) == 1
+
+
+class TestPredicates:
+    def test_is_err(self):
+        assert is_err(ERR)
+        assert not is_err(0)
+        assert not is_err(-5)
+
+    def test_is_concrete(self):
+        assert is_concrete(3)
+        assert is_concrete(-10)
+        assert not is_concrete(ERR)
+        assert not is_concrete(True)
+
+    def test_require_concrete_passes_ints(self):
+        assert require_concrete(7) == 7
+        assert require_concrete(-3) == -3
+
+    def test_require_concrete_rejects_err(self):
+        with pytest.raises(TypeError):
+            require_concrete(ERR)
+
+    def test_require_concrete_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_concrete(True)
+
+    def test_format_value(self):
+        assert format_value(ERR) == "err"
+        assert format_value(42) == "42"
+        assert format_value(-1) == "-1"

@@ -1,0 +1,301 @@
+"""Tests for the minic language: lexer, parser, code generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import (CompileError, LexerError, ParseError, compile_source,
+                        parse_source, tokenize)
+from repro.lang.nodes import Binary, Call, Function, If, NumberLiteral, While
+from repro.machine import Status, run_concrete, initial_state
+
+
+def run_minic(source, input_values=(), max_steps=100_000):
+    compiled = compile_source(source)
+    state = initial_state(input_values=input_values,
+                          memory=compiled.initial_memory())
+    run_concrete(compiled.program, state, max_steps=max_steps)
+    return state
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("int x = 10; // comment\nif (x >= 'a') {}")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert ("keyword", "int") in kinds
+        assert ("number", "10") in kinds
+        assert ("symbol", ">=") in kinds
+        assert ("number", str(ord("a"))) in kinds
+        assert kinds[-1][0] == "eof"
+
+    def test_block_comments_and_lines(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+        assert tokens[1].line == 2
+
+    def test_string_and_char_escapes(self):
+        tokens = tokenize(r'"hi\n" ' + r"'\n'")
+        assert tokens[0].text == "hi\n"
+        assert tokens[1].text == str(ord("\n"))
+
+    def test_errors(self):
+        with pytest.raises(LexerError):
+            tokenize('"unterminated')
+        with pytest.raises(LexerError):
+            tokenize("int € = 3;")
+        with pytest.raises(LexerError):
+            tokenize("/* unterminated")
+
+
+class TestParser:
+    def test_structure(self):
+        unit = parse_source("""
+            const K = 3;
+            int g;
+            int table[4] = {1, 2, 3, 4};
+            int helper(int a) { return a + K; }
+            int main() { int x; x = helper(2); while (x > 0) { x = x - 1; } return x; }
+        """)
+        assert [c.name for c in unit.constants] == ["K"]
+        assert [g.name for g in unit.globals] == ["g", "table"]
+        assert unit.globals[1].initializer == (1, 2, 3, 4)
+        assert [f.name for f in unit.functions] == ["helper", "main"]
+        main = unit.function("main")
+        assert any(isinstance(s, While) for s in main.body)
+
+    def test_operator_precedence(self):
+        unit = parse_source("int main() { int x; x = 1 + 2 * 3; return x; }")
+        assign = unit.function("main").body[1]
+        assert isinstance(assign.value, Binary) and assign.value.operator == "+"
+        assert assign.value.right.operator == "*"
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        unit = parse_source("""
+            int main() { if (1) if (0) return 1; else return 2; return 3; }
+        """)
+        outer = unit.function("main").body[0]
+        assert isinstance(outer, If)
+        assert outer.else_body == ()
+        inner = outer.then_body[0]
+        assert isinstance(inner, If) and inner.else_body
+
+    def test_parse_errors(self):
+        for source in ("int main() { x = ; }",
+                       "int main() { if 1 { } }",
+                       "int main() { 3 = x; }",
+                       "int main() { return 1 }",
+                       "banana"):
+            with pytest.raises(ParseError):
+                parse_source(source)
+
+
+class TestCompileErrors:
+    def test_undefined_identifier(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return missing; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return nothere(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError):
+            compile_source("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { int a; int a; return 0; }")
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            compile_source("int helper() { return 1; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { break; return 0; }")
+
+    def test_assign_to_constant(self):
+        with pytest.raises(CompileError):
+            compile_source("const K = 1; int main() { K = 2; return 0; }")
+
+
+class TestGeneratedCodeSemantics:
+    def test_arithmetic_and_precedence(self):
+        state = run_minic("""
+            int main() {
+                print(2 + 3 * 4);
+                print((2 + 3) * 4);
+                print(7 / 2);
+                print(7 % 2);
+                print(-5 + 1);
+                return 0;
+            }
+        """)
+        assert state.output_values() == (14, 20, 3, 1, -4)
+
+    def test_comparisons_and_logic(self):
+        state = run_minic("""
+            int main() {
+                print(3 < 4);
+                print(3 > 4);
+                print(4 <= 4);
+                print(5 != 5);
+                print(!0);
+                print(1 && 0);
+                print(1 || 0);
+                return 0;
+            }
+        """)
+        assert state.output_values() == (1, 0, 1, 0, 1, 0, 1)
+
+    def test_short_circuit_avoids_side_effects(self):
+        # The right operand would divide by zero; short-circuit must skip it.
+        state = run_minic("""
+            int boom() { return 1 / 0; }
+            int main() {
+                if (0 && boom()) { print(1); } else { print(2); }
+                if (1 || boom()) { print(3); }
+                return 0;
+            }
+        """)
+        assert state.status is Status.HALTED
+        assert state.output_values() == (2, 3)
+
+    def test_while_break_continue(self):
+        state = run_minic("""
+            int main() {
+                int i;
+                int total;
+                i = 0;
+                total = 0;
+                while (i < 10) {
+                    i = i + 1;
+                    if (i == 3) { continue; }
+                    if (i == 7) { break; }
+                    total = total + i;
+                }
+                print(total);
+                print(i);
+                return 0;
+            }
+        """)
+        # 1+2+4+5+6 = 18, loop exits at i == 7
+        assert state.output_values() == (18, 7)
+
+    def test_globals_arrays_and_constants(self):
+        state = run_minic("""
+            const BASE = 10;
+            int table[5] = {1, 2, 3};
+            int total;
+            int main() {
+                int i;
+                i = 0;
+                while (i < 5) {
+                    table[i] = table[i] + BASE;
+                    total = total + table[i];
+                    i = i + 1;
+                }
+                print(total);
+                print(table[4]);
+                return 0;
+            }
+        """)
+        assert state.output_values() == (11 + 12 + 13 + 10 + 10, 10)
+
+    def test_recursion(self):
+        state = run_minic("""
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { print(fib(10)); return 0; }
+        """)
+        assert state.output_values() == (55,)
+
+    def test_loop_based_parity(self):
+        state = run_minic("""
+            int dec(int n) { return n - 1; }
+            int even(int n) {
+                int k;
+                k = n;
+                while (k >= 2) { k = k - 2; }
+                return k == 0;
+            }
+            int main() { print(even(10)); print(even(7)); return 0; }
+        """)
+        assert state.output_values() == (1, 0)
+
+    def test_read_and_array_parameters(self):
+        state = run_minic("""
+            int buffer[8];
+            int fill(int dest, int n) {
+                int i;
+                i = 0;
+                while (i < n) { read(dest[i]); i = i + 1; }
+                return n;
+            }
+            int total(int src, int n) {
+                int i;
+                int sum;
+                i = 0;
+                sum = 0;
+                while (i < n) { sum = sum + src[i]; i = i + 1; }
+                return sum;
+            }
+            int main() {
+                int n;
+                n = fill(buffer, 4);
+                print(total(buffer, n));
+                return 0;
+            }
+        """, input_values=(5, 6, 7, 8))
+        assert state.output_values() == (26,)
+
+    def test_uninitialized_locals_are_zero(self):
+        state = run_minic("int main() { int x; print(x); return 0; }")
+        assert state.output_values() == (0,)
+
+    def test_prints_and_check(self):
+        compiled = compile_source("""
+            int main() { prints("hello"); check(1); print(1); return 0; }
+        """)
+        from repro.detectors import DetectorSet
+        detectors = DetectorSet.parse("det(1, $(0), ==, (0))")
+        state = initial_state(memory=compiled.initial_memory())
+        run_concrete(compiled.program, state, detectors)
+        assert state.output_values() == ("hello", 1)
+
+    def test_division_by_zero_crashes_program(self):
+        state = run_minic("int main() { print(1 / 0); return 0; }")
+        assert state.status is Status.EXCEPTION
+
+    def test_function_region_metadata(self):
+        compiled = compile_source("""
+            int helper(int a) { return a * 2; }
+            int main() { print(helper(3)); return 0; }
+        """)
+        start, end = compiled.function_region("helper")
+        assert 0 < start < end <= len(compiled.program)
+        assert compiled.function_pcs("helper") == list(range(start, end))
+        assert compiled.global_address is not None
+
+    @given(st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_arithmetic_matches_python(self, a, b, c):
+        """Differential property test: the compiled program computes the same
+        values as Python for a small arithmetic kernel."""
+        state = run_minic(f"""
+            int main() {{
+                int a; int b; int c;
+                a = {a}; b = {b}; c = {c};
+                print(a + b * c);
+                print((a - b) * (a + c));
+                print(a < b);
+                print((a + b) % c);
+                return 0;
+            }}
+        """)
+        expected_mod = (a + b) - int((a + b) / c) * c  # C-style remainder
+        assert state.output_values() == (a + b * c, (a - b) * (a + c),
+                                         int(a < b), expected_mod)

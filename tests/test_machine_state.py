@@ -1,0 +1,153 @@
+"""Tests for the machine state abstraction."""
+
+import pytest
+
+from repro.constraints import ComparisonOp, Constraint, Location
+from repro.isa.values import ERR
+from repro.machine.state import MachineState, Status, initial_state, state_contains_err
+from repro.machine.exceptions import MachineModelError
+
+
+class TestRegisters:
+    def test_register_zero_is_hardwired(self):
+        state = MachineState()
+        state.write_register(0, 42)
+        assert state.read_register(0) == 0
+
+    def test_register_read_write(self):
+        state = MachineState()
+        state.write_register(5, -3)
+        assert state.read_register(5) == -3
+
+    def test_wrong_register_file_size_rejected(self):
+        with pytest.raises(ValueError):
+            MachineState(registers=[0] * 3)
+
+    def test_writing_concrete_clears_constraints(self):
+        state = MachineState()
+        loc = Location.register(5)
+        state.write_register(5, ERR)
+        state.constraints = state.constraints.with_constraint(
+            loc, Constraint(ComparisonOp.GT, 0))
+        state.write_register(5, 7)
+        assert loc not in state.constraints
+
+    def test_writing_err_with_transfer_copies_constraints(self):
+        state = MachineState()
+        src, dst = Location.register(4), Location.register(5)
+        state.write_register(4, ERR)
+        state.constraints = state.constraints.with_constraint(
+            src, Constraint(ComparisonOp.EQ, 9))
+        state.write_register(5, ERR, transfer_from=src)
+        assert state.constraints.constraints_for(dst).admits(9)
+        assert not state.constraints.constraints_for(dst).admits(1)
+
+
+class TestMemoryAndIO:
+    def test_memory_definedness(self):
+        state = MachineState(memory={10: 5})
+        assert state.is_defined_address(10)
+        assert not state.is_defined_address(11)
+        state.write_memory(11, 6)
+        assert state.read_memory(11) == 6
+
+    def test_input_stream(self):
+        state = MachineState(input_values=[1, 2])
+        assert state.has_input()
+        assert state.next_input() == 1
+        assert state.next_input() == 2
+        assert not state.has_input()
+
+    def test_output_helpers(self):
+        state = MachineState()
+        state.append_output("banner")
+        state.append_output(5)
+        state.append_output(ERR)
+        assert state.output_values() == ("banner", 5, ERR)
+        assert state.printed_integers() == (5, ERR)
+        assert state.output_contains_err()
+
+
+class TestLifecycle:
+    def test_status_transitions(self):
+        state = MachineState()
+        assert state.is_running
+        state.halt()
+        assert state.status is Status.HALTED
+        assert not state.is_running
+
+    def test_throw_and_detect(self):
+        state = MachineState()
+        state.throw("illegal address")
+        assert state.crashed
+        assert state.exception == "illegal address"
+
+        other = MachineState()
+        other.detect(3, "detector 3 failed")
+        assert other.detected
+        assert other.detector_id == 3
+
+    def test_timeout(self):
+        state = MachineState()
+        state.time_out("timed out")
+        assert state.hung
+
+
+class TestCopyAndFingerprint:
+    def test_copy_is_independent(self):
+        state = MachineState(input_values=[1])
+        state.write_register(4, 7)
+        state.write_memory(100, 8)
+        clone = state.copy()
+        clone.write_register(4, 9)
+        clone.write_memory(100, 10)
+        clone.append_output(1)
+        assert state.read_register(4) == 7
+        assert state.read_memory(100) == 8
+        assert state.output_values() == ()
+
+    def test_fingerprint_equal_for_equal_states(self):
+        a = MachineState(input_values=[3])
+        b = MachineState(input_values=[3])
+        assert a.fingerprint() == b.fingerprint()
+        a.write_register(4, 1)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_includes_constraints(self):
+        a = MachineState()
+        b = MachineState()
+        a.write_register(4, ERR)
+        b.write_register(4, ERR)
+        a.constraints = a.constraints.with_constraint(
+            Location.register(4), Constraint(ComparisonOp.GT, 0))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestStateContainsErr:
+    def test_clean_state(self):
+        assert not state_contains_err(MachineState())
+
+    def test_err_in_register(self):
+        state = MachineState()
+        state.write_register(3, ERR)
+        assert state_contains_err(state)
+
+    def test_err_in_memory(self):
+        state = MachineState()
+        state.write_memory(1000, ERR)
+        assert state_contains_err(state)
+
+    def test_err_in_pc(self):
+        state = MachineState()
+        state.pc = ERR
+        assert state_contains_err(state)
+
+
+class TestDescribe:
+    def test_describe_contains_key_facts(self):
+        state = initial_state(input_values=[1], memory={5: 6})
+        state.write_register(3, ERR)
+        state.append_output(9)
+        text = state.describe()
+        assert "pc" in text and "err" in text and "output" in text
+        assert repr(state).startswith("<MachineState")

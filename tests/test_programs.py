@@ -1,0 +1,162 @@
+"""Tests for the workloads: factorial, tcas, replace and the kernels."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Status
+from repro.programs import (DOWNWARD_ADVISORY_INPUT, UPWARD_ADVISORY_INPUT,
+                            WORKLOADS, decode_output, encode_input,
+                            factorial_workload, factorial_with_detectors_workload,
+                            load_workload, loop_counter_injection_pc, make_input,
+                            reference_alt_sep_test, reference_replace,
+                            replace_workload, tcas_workload)
+from repro.programs.kernels import (call_max_workload, memory_walk_workload,
+                                    safe_divide_workload, sum_input_workload)
+
+
+class TestRegistry:
+    def test_every_workload_builds_and_runs(self):
+        for name in WORKLOADS:
+            workload = load_workload(name)
+            state = workload.golden_run()
+            assert state.status is Status.HALTED, (name, state.exception)
+            assert "instructions" in workload.describe()
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            load_workload("doom")
+
+
+class TestFactorial:
+    def test_golden_output(self):
+        assert factorial_workload().golden_output() == ("Factorial = ", 120)
+        assert factorial_workload(3).golden_output() == ("Factorial = ", 6)
+        assert factorial_workload().golden_output([6]) == ("Factorial = ", 720)
+
+    def test_detector_variant_has_same_functional_behaviour(self):
+        protected = factorial_with_detectors_workload()
+        assert protected.golden_output() == ("Factorial = ", 120)
+        assert len(protected.detectors) == 2
+
+    def test_injection_pc_helper(self):
+        workload = factorial_workload()
+        pc = loop_counter_injection_pc(workload)
+        assert workload.program[pc].opcode == "subi"
+
+
+class TestKernels:
+    def test_sum_input(self):
+        assert sum_input_workload().golden_output() == ("sum = ", 24)
+
+    def test_memory_walk(self):
+        # triangular numbers 0,0+1,..: table[i] = sum_{k<=i} k; total of table
+        workload = memory_walk_workload(n=5)
+        assert workload.golden_output() == (0 + 1 + 3 + 6 + 10,)
+
+    def test_call_max(self):
+        assert call_max_workload(3, 9).golden_output() == (9,)
+        assert call_max_workload(9, 3).golden_output() == (9,)
+
+    def test_safe_divide(self):
+        assert safe_divide_workload(42, 6).golden_output() == (7,)
+        state = safe_divide_workload(42, 0).golden_run()
+        assert state.status is Status.EXCEPTION
+        assert state.exception == "guarded div-zero"
+
+
+class TestTcas:
+    def test_paper_inputs(self):
+        workload = tcas_workload()
+        assert workload.golden_output() == (1,)
+        assert workload.golden_output(DOWNWARD_ADVISORY_INPUT) == (2,)
+
+    def test_make_input_overrides(self):
+        inputs = make_input(Climb_Inhibit=1)
+        assert inputs[-1] == 1
+        with pytest.raises(KeyError):
+            make_input(Not_A_Field=1)
+
+    def test_disabled_logic_gives_unresolved(self):
+        # Low confidence disables the advisory logic entirely.
+        inputs = make_input(High_Confidence=0)
+        assert tcas_workload().golden_output(inputs) == (0,)
+        assert reference_alt_sep_test(inputs) == 0
+
+    def test_not_tcas_equipped_other_aircraft(self):
+        inputs = make_input(Other_Capability=2)
+        assert tcas_workload().golden_output(inputs) == \
+            (reference_alt_sep_test(inputs),)
+
+    @given(st.tuples(
+        st.integers(min_value=0, max_value=1200),   # Cur_Vertical_Sep
+        st.integers(min_value=0, max_value=1),      # High_Confidence
+        st.integers(min_value=0, max_value=1),      # Two_of_Three_Reports_Valid
+        st.integers(min_value=0, max_value=2000),   # Own_Tracked_Alt
+        st.integers(min_value=0, max_value=1200),   # Own_Tracked_Alt_Rate
+        st.integers(min_value=0, max_value=2000),   # Other_Tracked_Alt
+        st.integers(min_value=0, max_value=3),      # Alt_Layer_Value
+        st.integers(min_value=0, max_value=900),    # Up_Separation
+        st.integers(min_value=0, max_value=900),    # Down_Separation
+        st.integers(min_value=0, max_value=2),      # Other_RAC
+        st.integers(min_value=1, max_value=2),      # Other_Capability
+        st.integers(min_value=0, max_value=1)))     # Climb_Inhibit
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_tcas_matches_reference_oracle(self, inputs):
+        """Differential property test: the compiled tcas agrees with the
+        pure-Python oracle on arbitrary inputs."""
+        workload = tcas_workload()
+        assert workload.golden_output(inputs) == (reference_alt_sep_test(inputs),)
+
+
+class TestReplace:
+    CASES = [
+        ("abc", "X", ("xxabcxx", "abcabc")),
+        ("[0-9]", "#", ("ab12cd9",)),
+        ("a*b", "<&>", ("aaab b xb",)),
+        ("%hi", "HI", ("hi there", "say hi")),
+        ("end$", "END", ("the end", "end mid")),
+        ("[^aeiou0-9]", ".", ("hello 42",)),
+        ("?", "@&", ("xy",)),
+        ("@**", "STAR", ("a*b",)),
+    ]
+
+    def test_encode_decode_round_trip(self):
+        stream = encode_input("ab", "c", ["line"])
+        assert stream[:3] == (ord("a"), ord("b"), 0)
+        assert decode_output([104, 105]) == "hi"
+        assert "err" in decode_output([104, "err"]) or "<" in decode_output([104, "err"])
+
+    @pytest.mark.parametrize("pattern,substitution,lines", CASES)
+    def test_compiled_replace_matches_reference_oracle(self, pattern,
+                                                       substitution, lines):
+        workload = replace_workload()
+        state = workload.golden_run(encode_input(pattern, substitution, lines))
+        assert state.status is Status.HALTED
+        got = decode_output(state.output_values())
+        want = reference_replace(pattern, substitution, lines)
+        assert got == want
+
+    def test_illegal_pattern_is_reported(self):
+        workload = replace_workload()
+        state = workload.golden_run(encode_input("[abc", "x", ["line"]))
+        assert state.status is Status.HALTED
+        assert any(isinstance(item, str) and "illegal" in item
+                   for item in state.output_values())
+
+    @given(st.text(alphabet="ab?*[]-^x0", min_size=1, max_size=6),
+           st.text(alphabet="XY&", min_size=1, max_size=3),
+           st.text(alphabet="abx01 ", min_size=0, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_patterns_agree_with_oracle(self, pattern,
+                                                        substitution, line):
+        """Random small patterns: the compiled program and the Python oracle
+        must either both reject the pattern or produce identical output."""
+        workload = replace_workload()
+        state = workload.golden_run(encode_input(pattern, substitution, [line]))
+        assert state.status is Status.HALTED
+        want = reference_replace(pattern, substitution, [line])
+        got = decode_output(state.output_values())
+        if want is None:
+            assert "illegal" in got
+        else:
+            assert got == want
