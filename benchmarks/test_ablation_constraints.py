@@ -13,7 +13,7 @@
 import pytest
 
 from repro.constraints import Location
-from repro.core import BoundedModelChecker, SymbolicCampaign, halted_normally
+from repro.core import BoundedModelChecker, halted_normally
 from repro.errors import Injection, RegisterFileError, prepare_injected_state
 from repro.machine import ExecutionConfig, Executor
 from repro.programs import factorial_workload, loop_counter_injection_pc, tcas_workload

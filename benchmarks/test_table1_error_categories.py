@@ -13,7 +13,7 @@ a sample of them and confirms the modelled manifestation:
 
 import pytest
 
-from repro.core import SymbolicCampaign, crashed, halted_normally, undetected_failure
+from repro.core import SymbolicCampaign, crashed, undetected_failure
 from repro.errors import STANDARD_ERROR_CLASSES
 from repro.machine import ExecutionConfig
 from repro.programs import (call_max_workload, memory_walk_workload,

@@ -12,8 +12,7 @@ Run with:  python examples/factorial_detectors.py
 """
 
 from repro.constraints import Location
-from repro.core import (BoundedModelChecker, SymbolicCampaign, detected,
-                        output_contains_err)
+from repro.core import SymbolicCampaign, detected, output_contains_err
 from repro.core.traces import witnesses_from_campaign
 from repro.errors import Injection
 from repro.machine import ExecutionConfig

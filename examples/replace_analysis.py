@@ -15,10 +15,9 @@ Run with:  python examples/replace_analysis.py [--pattern "[0-9]"] [--sub "#"]
 import argparse
 
 from repro.core import SymbolicCampaign, TaskRunner, decompose_by_code_section, incorrect_output
-from repro.core.traces import witnesses_from_campaign
 from repro.errors import RegisterFileError
 from repro.machine import ExecutionConfig
-from repro.programs import decode_output, encode_input, replace_workload
+from repro.programs import decode_output, replace_workload
 
 
 def main() -> None:

@@ -15,7 +15,7 @@ Pass --quick to sweep only the return-address injections.
 
 import argparse
 
-from repro.analysis import compare_symbolic_concrete, solutions_with_final_value
+from repro.analysis import compare_symbolic_concrete
 from repro.concrete import ConcreteCampaign, printed_value_labeler
 from repro.constraints import Location
 from repro.core import (SymbolicCampaign, TaskRunner, Witness,

@@ -13,11 +13,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..concrete.faultinjection import ConcreteCampaignResult
 from ..core.campaign import CampaignResult
-from ..core.outcomes import OutcomeKind, classify
+from ..core.outcomes import OutcomeKind
 from ..core.tasks import TaskCampaignReport
 from ..core.traces import Witness
 from ..errors.injector import Injection
-from ..isa.program import Program
 from ..isa.values import is_err
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis import campaign_outcome_summary, format_witnesses
 from .concrete import ConcreteCampaign, printed_value_labeler
@@ -34,6 +34,17 @@ from .lang import compile_source
 from .machine import ExecutionConfig, run_concrete
 from .programs import WORKLOADS, load_workload
 from .programs.base import Workload
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be an integer, got {text!r}") \
+            from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _load_detectors(path: Optional[str]) -> DetectorSet:
@@ -130,6 +141,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=("labels", "targets", "all", "exception_only"))
     analyze.add_argument("--witnesses", type=int, default=3,
                          help="number of witnesses to print")
+    analyze.add_argument("--workers", type=_positive_int, default=1,
+                         help="worker processes for the injection sweep "
+                              "(1 = serial, the paper's single-host run)")
+    analyze.add_argument("--chunk-size", type=_positive_int, default=None,
+                         help="injections per parallel work unit "
+                              "(default: a few chunks per worker)")
+    analyze.add_argument("--progress", action="store_true",
+                         help="report sweep progress on stderr")
 
     concrete = subparsers.add_parser(
         "concrete", help="concrete (SimpleScalar-style) fault-injection campaign")
@@ -184,8 +203,28 @@ def _command_analyze(args: argparse.Namespace) -> int:
     print(f"error class    : {args.error_class}")
     print(f"query          : {query.description}")
     print(f"injections     : {len(injections)}")
+    if args.workers > 1:
+        print(f"workers        : {args.workers}")
 
-    result = campaign.run(query, injections=injections)
+    def report_progress(done: int, total: int, last) -> None:
+        print(f"  [{done}/{total}] {last.injection.label()}"
+              + ("" if last.activated else " (not activated)"),
+              file=sys.stderr)
+
+    progress = report_progress if args.progress else None
+
+    if args.workers > 1:
+        from .parallel import (ParallelConfig, QuerySpec,
+                               run_campaign_parallel)
+        query_spec = QuerySpec.predefined(args.query, golden_output=golden,
+                                          expected_value=expected)
+        result = run_campaign_parallel(
+            campaign, query_spec, injections=injections,
+            config=ParallelConfig(workers=args.workers,
+                                  chunk_size=args.chunk_size),
+            progress=progress)
+    else:
+        result = campaign.run(query, injections=injections, progress=progress)
     print()
     print(result.describe())
     print()

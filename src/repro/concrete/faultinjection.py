@@ -17,12 +17,12 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..detectors import DetectorSet, EMPTY_DETECTORS
 from ..errors.injector import Injection, register_injection_points
 from ..isa.program import Program
-from .simulator import ConcreteRun, ConcreteSimulator
+from .simulator import ConcreteSimulator
 from .stats import OutcomeDistribution, OutcomeLabeler, printed_value_labeler
 
 

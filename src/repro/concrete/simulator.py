@@ -14,13 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..constraints import Location
 from ..detectors import DetectorSet, EMPTY_DETECTORS
 from ..errors.injector import Injection, apply_corruption
 from ..isa.program import Program
 from ..machine.executor import run_concrete, run_concrete_until
 from ..machine.state import MachineState, Status, initial_state
-from ..core.outcomes import Outcome, OutcomeKind, classify
+from ..core.outcomes import Outcome, classify
 
 
 @dataclass

@@ -10,7 +10,7 @@ arbitrary set of outcome labels and renders the same style of table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..isa.values import is_err
 from ..machine.state import MachineState, Status

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
-from .constraint import ComparisonOp, Constraint, Location, RelationalConstraint
-from .constraint_set import ConstraintSet, IMPOSSIBLE
+from .constraint import Constraint, Location, RelationalConstraint
+from .constraint_set import ConstraintSet
 from .solver import relational_conflict
 
 

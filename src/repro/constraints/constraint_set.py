@@ -18,7 +18,7 @@ checker uses to prune false-positive branches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from .constraint import ComparisonOp, Constraint

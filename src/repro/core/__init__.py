@@ -5,10 +5,15 @@ from .queries import (SearchQuery, crashed, detected, halted_normally, hung,
                       incorrect_output, last_printed_value, output_contains_err,
                       output_differs, output_equals, printed_value,
                       printed_value_other_than, undetected_failure)
-from .search import BoundedModelChecker, SearchResult, SearchStatistics, Solution
-from .campaign import CampaignResult, InjectionResult, SymbolicCampaign
-from .tasks import (SearchTask, TaskCampaignReport, TaskResult, TaskRunner,
-                    decompose_by_code_section, decompose_by_injection)
+from .search import (BoundedModelChecker, CacheStatistics, SearchResult,
+                     SearchResultCache, SearchStatistics, Solution)
+from .campaign import (CampaignResult, ExecutionStrategy, InjectionResult,
+                       SerialExecutionStrategy, SymbolicCampaign)
+from .tasks import (SearchTask, SerialTaskStrategy, TaskCampaignReport,
+                    TaskExecutionStrategy, TaskResult, TaskRunner,
+                    chunk_injections, decompose_by_chunk,
+                    decompose_by_code_section, decompose_by_injection,
+                    default_chunk_size)
 from .traces import Witness, witnesses_from_campaign
 
 __all__ = [
@@ -17,9 +22,14 @@ __all__ = [
     "incorrect_output", "last_printed_value", "output_contains_err",
     "output_differs", "output_equals", "printed_value",
     "printed_value_other_than", "undetected_failure",
-    "BoundedModelChecker", "SearchResult", "SearchStatistics", "Solution",
-    "CampaignResult", "InjectionResult", "SymbolicCampaign",
-    "SearchTask", "TaskCampaignReport", "TaskResult", "TaskRunner",
+    "BoundedModelChecker", "CacheStatistics", "SearchResult",
+    "SearchResultCache", "SearchStatistics", "Solution",
+    "CampaignResult", "ExecutionStrategy", "InjectionResult",
+    "SerialExecutionStrategy", "SymbolicCampaign",
+    "SearchTask", "SerialTaskStrategy", "TaskCampaignReport",
+    "TaskExecutionStrategy", "TaskResult", "TaskRunner",
+    "chunk_injections", "decompose_by_chunk",
     "decompose_by_code_section", "decompose_by_injection",
+    "default_chunk_size",
     "Witness", "witnesses_from_campaign",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..detectors import DetectorSet, EMPTY_DETECTORS
 from ..errors.injector import Injection, prepare_injected_state
@@ -32,7 +32,11 @@ from ..machine.executor import ExecutionConfig, Executor
 from ..machine.state import MachineState, initial_state
 from .outcomes import Outcome, classify
 from .queries import SearchQuery
-from .search import BoundedModelChecker, SearchResult, Solution
+from .search import (BoundedModelChecker, SearchResult, SearchResultCache,
+                     Solution)
+
+#: Callback invoked after each injection: (done, total, last result).
+ProgressCallback = Callable[[int, int, "InjectionResult"], None]
 
 
 @dataclass
@@ -105,6 +109,46 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+class ExecutionStrategy:
+    """How a campaign's injection experiments are executed.
+
+    The paper distributes its searches over a cluster; this abstraction keeps
+    :class:`SymbolicCampaign` agnostic of *where* each experiment runs.  The
+    serial strategy below preserves the original single-process behaviour;
+    :mod:`repro.parallel` provides a multiprocessing strategy that shards the
+    sweep across a worker pool and merges results deterministically.
+    """
+
+    name: str = "abstract"
+
+    def run(self, campaign: "SymbolicCampaign", injections: Sequence[Injection],
+            query: SearchQuery,
+            progress: Optional[ProgressCallback] = None) -> List[InjectionResult]:
+        """Execute every injection and return results in submission order."""
+        raise NotImplementedError
+
+
+class SerialExecutionStrategy(ExecutionStrategy):
+    """Run every injection in-process, one after the other."""
+
+    name = "serial"
+
+    def __init__(self, result_cache: Optional[SearchResultCache] = None) -> None:
+        self.result_cache = result_cache
+
+    def run(self, campaign: "SymbolicCampaign", injections: Sequence[Injection],
+            query: SearchQuery,
+            progress: Optional[ProgressCallback] = None) -> List[InjectionResult]:
+        results: List[InjectionResult] = []
+        for index, injection in enumerate(injections):
+            result = campaign.run_injection(injection, query,
+                                            result_cache=self.result_cache)
+            results.append(result)
+            if progress is not None:
+                progress(index + 1, len(injections), result)
+        return results
+
+
 class SymbolicCampaign:
     """Sweep an error class over a program with symbolic fault injection."""
 
@@ -141,8 +185,9 @@ class SymbolicCampaign:
 
     # -------------------------------------------------------------- execution
 
-    def run_injection(self, injection: Injection,
-                      query: SearchQuery) -> InjectionResult:
+    def run_injection(self, injection: Injection, query: SearchQuery,
+                      result_cache: Optional[SearchResultCache] = None,
+                      ) -> InjectionResult:
         """Model-check a single injection experiment."""
         injected = prepare_injected_state(
             self.program, injection, self.fresh_initial_state(), value=ERR,
@@ -154,23 +199,27 @@ class SymbolicCampaign:
             self._executor,
             max_solutions=self.max_solutions_per_injection,
             max_states=self.max_states_per_injection,
-            wall_clock_seconds=self.wall_clock_per_injection)
+            wall_clock_seconds=self.wall_clock_per_injection,
+            result_cache=result_cache)
         result = checker.search_single(injected, query)
         return InjectionResult(injection=injection, activated=True, search=result)
 
     def run(self, query: SearchQuery,
             injections: Optional[Sequence[Injection]] = None,
-            progress: Optional[Callable[[int, int, InjectionResult], None]] = None,
-            ) -> CampaignResult:
-        """Run the whole campaign (or the provided subset of injections)."""
+            progress: Optional[ProgressCallback] = None,
+            strategy: Optional[ExecutionStrategy] = None) -> CampaignResult:
+        """Run the whole campaign (or the provided subset of injections).
+
+        *strategy* selects how the experiments are executed; the default
+        serial strategy reproduces the original single-process sweep, and any
+        strategy must return one result per injection, in submission order.
+        """
         campaign_start = time.monotonic()
         if injections is None:
             injections = self.enumerate_injections()
+        if strategy is None:
+            strategy = SerialExecutionStrategy()
         campaign = CampaignResult(query_description=query.description)
-        for index, injection in enumerate(injections):
-            result = self.run_injection(injection, query)
-            campaign.results.append(result)
-            if progress is not None:
-                progress(index + 1, len(injections), result)
+        campaign.results = strategy.run(self, injections, query, progress=progress)
         campaign.elapsed_seconds = time.monotonic() - campaign_start
         return campaign

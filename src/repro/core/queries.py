@@ -11,7 +11,7 @@ a human-readable description; the query generator
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Sequence, Tuple
 
 from ..isa.values import is_err
 from ..machine.state import MachineState, Status

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..machine.executor import Executor, run_concrete
 from ..machine.state import MachineState, state_contains_err
@@ -78,6 +78,84 @@ class SearchResult:
         return "\n".join(lines)
 
 
+@dataclass
+class CacheStatistics:
+    """Counters describing the effectiveness of a :class:`SearchResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SearchResultCache:
+    """Memoises completed searches across injection experiments.
+
+    A bounded model-checking run is a pure function of the executor (program,
+    detectors, execution config), the injected initial state, the query and
+    the search caps: two injections whose corrupted states share a
+    fingerprint (and step count, which feeds the watchdog bound) explore
+    exactly the same space and return identical results.  The campaign and
+    task runners thread one cache through every injection of a program sweep
+    — and the parallel workers keep one per process — so that convergent
+    injection points are searched only once.
+
+    Keys embed the executor object itself (compared by identity; the cache
+    keeps it alive), so one cache can be shared across checkers — even over
+    different programs or configs — without cross-talk.  The query, however,
+    is identified by its description: generated queries (and any query reused
+    across a campaign) satisfy this; callers mixing distinct predicates under
+    one description must use separate caches.  Mutating an executor or its
+    config after cached searches invalidates this reasoning; build a fresh
+    executor (or cache) instead.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None)")
+        self.max_entries = max_entries
+        self.statistics = CacheStatistics()
+        self._entries: Dict[Tuple, SearchResult] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def make_key(executor: Executor, state: MachineState, query: SearchQuery,
+                 caps: Tuple) -> Tuple:
+        # The executor participates by identity (default object hash); the
+        # key tuple holds a strong reference, so its id cannot be recycled.
+        return (executor, state.fingerprint(), state.steps,
+                query.description, caps)
+
+    def get(self, key: Tuple) -> Optional[SearchResult]:
+        result = self._entries.get(key)
+        if result is None:
+            self.statistics.misses += 1
+        else:
+            self.statistics.hits += 1
+        return result
+
+    def store(self, key: Tuple, result: SearchResult) -> None:
+        if self.max_entries is not None and key not in self._entries \
+                and len(self._entries) >= self.max_entries:
+            # Drop the oldest entry (insertion order) — campaigns sweep the
+            # program front to back, so old entries are the least likely to
+            # recur.
+            self._entries.pop(next(iter(self._entries)))
+            self.statistics.evictions += 1
+        self._entries[key] = result
+        self.statistics.stores += 1
+
+
 class BoundedModelChecker:
     """Breadth-first exhaustive search over symbolic machine states."""
 
@@ -86,7 +164,8 @@ class BoundedModelChecker:
                  max_states: int = 250_000,
                  wall_clock_seconds: Optional[float] = None,
                  deduplicate: bool = True,
-                 concretize: bool = True) -> None:
+                 concretize: bool = True,
+                 result_cache: Optional[SearchResultCache] = None) -> None:
         self.executor = executor
         self.max_solutions = max_solutions
         self.max_states = max_states
@@ -96,6 +175,8 @@ class BoundedModelChecker:
         # deterministic; finishing it with the fast concrete interpreter is a
         # pure optimisation that does not change the set of final states.
         self.concretize = concretize
+        # Optional cross-search memoisation (see SearchResultCache).
+        self.result_cache = result_cache
 
     def search(self, initial_states: Iterable[MachineState],
                query: SearchQuery) -> SearchResult:
@@ -165,7 +246,20 @@ class BoundedModelChecker:
         return SearchResult(solutions=solutions, statistics=statistics,
                             completed=completed, stop_reason=stop_reason)
 
+    def _caps_key(self) -> Tuple:
+        return (self.max_solutions, self.max_states, self.wall_clock_seconds,
+                self.deduplicate, self.concretize)
+
     def search_single(self, initial_state: MachineState,
                       query: SearchQuery) -> SearchResult:
-        """Convenience wrapper for a single initial state."""
-        return self.search([initial_state], query)
+        """Search from a single initial state, consulting the result cache."""
+        if self.result_cache is None:
+            return self.search([initial_state], query)
+        key = self.result_cache.make_key(self.executor, initial_state, query,
+                                         self._caps_key())
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.search([initial_state], query)
+        self.result_cache.store(key, result)
+        return result

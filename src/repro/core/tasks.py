@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors.injector import Injection
-from .campaign import CampaignResult, InjectionResult, SymbolicCampaign
+from .campaign import InjectionResult, SymbolicCampaign
 from .queries import SearchQuery
+from .search import SearchResultCache
 
 
 @dataclass
@@ -170,6 +171,83 @@ def decompose_by_injection(injections: Sequence[Injection]) -> List[SearchTask]:
             for index, injection in enumerate(injections)]
 
 
+def chunk_injections(injections: Sequence[Injection],
+                     chunk_size: int) -> List[Tuple[Injection, ...]]:
+    """Split a sweep into fixed-size chunks, preserving order.
+
+    The final chunk may be smaller; an empty sweep yields no chunks, and a
+    chunk size larger than the sweep yields a single chunk.  This is the
+    scheduling granularity of the parallel runner: each chunk is one unit of
+    work handed to a worker, so smaller chunks balance load better while
+    larger chunks amortise task-dispatch overhead.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    ordered = list(injections)
+    return [tuple(ordered[start:start + chunk_size])
+            for start in range(0, len(ordered), chunk_size)]
+
+
+def decompose_by_chunk(injections: Sequence[Injection],
+                       chunk_size: int) -> List[SearchTask]:
+    """Fixed-size chunk decomposition (sweep order, not code sections)."""
+    tasks = []
+    for identifier, chunk in enumerate(chunk_injections(injections, chunk_size)):
+        tasks.append(SearchTask(
+            identifier=identifier, injections=chunk,
+            description=f"chunk {identifier} ({len(chunk)} injections)"))
+    return tasks
+
+
+def default_chunk_size(total_injections: int, workers: int,
+                       chunks_per_worker: int = 4) -> int:
+    """Heuristic chunk size: a few chunks per worker for load balancing."""
+    if total_injections <= 0:
+        return 1
+    workers = max(1, workers)
+    target_chunks = workers * max(1, chunks_per_worker)
+    return max(1, -(-total_injections // target_chunks))
+
+
+class TaskExecutionStrategy:
+    """How a batch of search tasks is executed (mirrors ExecutionStrategy).
+
+    Implementations must return one :class:`TaskResult` per task, in
+    submission order, so reports are deterministic regardless of where the
+    tasks actually ran.
+    """
+
+    name: str = "abstract"
+
+    def run(self, runner: "TaskRunner", tasks: Sequence[SearchTask],
+            query: SearchQuery,
+            progress: Optional[Callable[[int, int, "TaskResult"], None]] = None,
+            ) -> List["TaskResult"]:
+        raise NotImplementedError
+
+
+class SerialTaskStrategy(TaskExecutionStrategy):
+    """Run tasks in-process, sharing one search-result cache across tasks."""
+
+    name = "serial"
+
+    def __init__(self, result_cache: Optional[SearchResultCache] = None) -> None:
+        self.result_cache = result_cache
+
+    def run(self, runner: "TaskRunner", tasks: Sequence[SearchTask],
+            query: SearchQuery,
+            progress: Optional[Callable[[int, int, "TaskResult"], None]] = None,
+            ) -> List["TaskResult"]:
+        results: List[TaskResult] = []
+        for index, task in enumerate(tasks):
+            task_result = runner.run_task(task, query,
+                                          result_cache=self.result_cache)
+            results.append(task_result)
+            if progress is not None:
+                progress(index + 1, len(tasks), task_result)
+        return results
+
+
 class TaskRunner:
     """Run search tasks under per-task caps and aggregate the statistics."""
 
@@ -180,7 +258,8 @@ class TaskRunner:
         self.max_errors_per_task = max_errors_per_task
         self.wall_clock_per_task = wall_clock_per_task
 
-    def run_task(self, task: SearchTask, query: SearchQuery) -> TaskResult:
+    def run_task(self, task: SearchTask, query: SearchQuery,
+                 result_cache: Optional[SearchResultCache] = None) -> TaskResult:
         """Run one task: sweep its injections until a cap is hit."""
         start = time.monotonic()
         result = TaskResult(task=task)
@@ -192,7 +271,8 @@ class TaskRunner:
                     and time.monotonic() - start > self.wall_clock_per_task):
                 result.completed = False
                 break
-            injection_result = self.campaign.run_injection(injection, query)
+            injection_result = self.campaign.run_injection(
+                injection, query, result_cache=result_cache)
             result.results.append(injection_result)
             result.errors_found += len(injection_result.solutions)
             if not injection_result.completed and not injection_result.found_solutions:
@@ -204,13 +284,12 @@ class TaskRunner:
 
     def run(self, tasks: Sequence[SearchTask], query: SearchQuery,
             progress: Optional[Callable[[int, int, TaskResult], None]] = None,
+            strategy: Optional[TaskExecutionStrategy] = None,
             ) -> TaskCampaignReport:
         report = TaskCampaignReport(query_description=query.description)
         overall_start = time.monotonic()
-        for index, task in enumerate(tasks):
-            task_result = self.run_task(task, query)
-            report.task_results.append(task_result)
-            if progress is not None:
-                progress(index + 1, len(tasks), task_result)
+        if strategy is None:
+            strategy = SerialTaskStrategy()
+        report.task_results = strategy.run(self, tasks, query, progress=progress)
         report.elapsed_seconds = time.monotonic() - overall_start
         return report

@@ -16,8 +16,8 @@ fails, an exception is thrown and the program halts (the detection action).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from ..constraints import ComparisonOp, Location
 from .expression import Expression, ExpressionError, parse_expression

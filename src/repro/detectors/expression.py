@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple, Union
+from typing import List, Optional, Set, Tuple
 
 from ..constraints import Location
-from ..isa.values import ERR, Value, is_err
+from ..isa.values import ERR, Value
 from ..errors.propagation import NonDeterministicOperation, symbolic_binary
 
 

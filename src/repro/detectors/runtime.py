@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..constraints import ConstraintMap, Location
-from ..errors.comparison import ComparisonOutcome, resolve_comparison
+from ..errors.comparison import resolve_comparison
 from ..isa.values import Value, is_err
 from .detector import Detector
 from .expression import StateReader, single_location

@@ -14,7 +14,7 @@ pruned (they correspond to no real execution).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..constraints import (ComparisonOp, Constraint, ConstraintMap, Location,
                            RelationalConstraint)

@@ -13,12 +13,12 @@ substitute, with a chosen concrete value).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..constraints import Location
 from ..isa.instructions import ZERO_REGISTER
 from ..isa.program import Program
-from ..isa.values import ERR, Value, is_err
+from ..isa.values import ERR, Value
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoid an import cycle)
     from ..detectors import DetectorSet

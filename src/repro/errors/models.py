@@ -19,11 +19,11 @@ and the like) are outside the fault model, as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..constraints import Location
-from ..isa.instructions import Category, Instruction
+from ..isa.instructions import Category
 from ..isa.program import Program
 from .injector import Injection, registers_used_at
 

@@ -22,7 +22,7 @@ than being resolved here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict
 
 from ..isa.values import ERR, Value, is_err
 

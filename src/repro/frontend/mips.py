@@ -18,7 +18,6 @@ meaningful.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa.instructions import Instruction, make
@@ -102,7 +101,6 @@ class MipsTranslator:
 
     def translate(self, source: str) -> Program:
         builder = ProgramBuilder(name=self.name)
-        pending_halt_labels: List[str] = []
         in_text_segment = True
         for line_number, raw_line in enumerate(source.splitlines(), start=1):
             line = raw_line.split("#")[0].strip()

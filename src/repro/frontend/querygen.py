@@ -17,7 +17,7 @@ from ..core.campaign import SymbolicCampaign
 from ..core.queries import (SearchQuery, crashed, hung, incorrect_output,
                             output_contains_err, printed_value_other_than,
                             undetected_failure)
-from ..errors.models import ErrorClass, STANDARD_ERROR_CLASSES, error_class
+from ..errors.models import ErrorClass, error_class
 from ..machine.executor import ExecutionConfig
 from ..programs.base import Workload
 

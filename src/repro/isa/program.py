@@ -17,7 +17,7 @@ The loader semantics follow the paper's machine-model assumptions
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .instructions import Instruction, InvalidInstructionError, is_control_transfer
 

@@ -26,16 +26,16 @@ reach):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..isa.instructions import Instruction, make
+from ..isa.instructions import make
 from ..isa.program import Program, ProgramBuilder
 from . import nodes
-from .nodes import (ArrayIndex, Assign, Binary, Break, Call, Check, Continue,
-                    ExprStmt, Function, GlobalVar, Identifier, If, LocalDecl,
-                    NumberLiteral, Print, PrintString, Read, Return,
-                    TranslationUnit, Unary, While)
+from .nodes import (ArrayIndex, Assign, Binary, Break, Call, Check,
+                    Continue, ExprStmt, Function, Identifier, If,
+                    LocalDecl, NumberLiteral, Print, PrintString, Read,
+                    Return, TranslationUnit, Unary, While)
 
 
 class CompileError(ValueError):

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
-from .codegen import CodeGenerator, CompiledProgram, CompileError
-from .parser import ParseError, parse_source
+from .codegen import CodeGenerator, CompiledProgram
+from .parser import parse_source
 
 
 def compile_source(source: str, name: str = "minic",

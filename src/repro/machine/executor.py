@@ -21,10 +21,10 @@ Two interpreters live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..constraints import ComparisonOp, ConstraintMap, Location
+from ..constraints import ComparisonOp, Location
 from ..detectors import DetectorSet, EMPTY_DETECTORS, execute_detector
 from ..errors.comparison import resolve_comparison
 from ..errors.propagation import (IMMEDIATE_ALIASES, NonDeterministicOperation,
@@ -35,7 +35,7 @@ from ..isa.values import ERR, Value, is_err
 from .exceptions import (DIVIDE_BY_ZERO, ILLEGAL_ADDRESS, ILLEGAL_INSTRUCTION,
                          INPUT_EXHAUSTED, MachineModelError, TIMED_OUT,
                          detector_exception)
-from .state import MachineState, Status
+from .state import MachineState
 
 
 #: Comparison operator implemented by each comparison-setter opcode.

@@ -1,0 +1,23 @@
+"""Parallel campaign execution: the paper's cluster runs on a worker pool.
+
+Public surface:
+
+* :class:`ParallelConfig` — pool size, chunk size, start method;
+* :class:`CampaignSpec` / :class:`QuerySpec` — picklable recipes workers use
+  to rebuild the campaign and query;
+* :func:`run_campaign_parallel` / :func:`run_tasks_parallel` — one-call
+  parallel equivalents of ``SymbolicCampaign.run`` and ``TaskRunner.run``;
+* :class:`ParallelExecutionStrategy` / :class:`ParallelTaskStrategy` — the
+  pluggable strategies behind them, for callers composing their own runs.
+"""
+
+from .runner import (ParallelConfig, ParallelExecutionStrategy,
+                     ParallelTaskStrategy, run_campaign_parallel,
+                     run_tasks_parallel)
+from .spec import CampaignSpec, QuerySpec
+
+__all__ = [
+    "CampaignSpec", "ParallelConfig", "ParallelExecutionStrategy",
+    "ParallelTaskStrategy", "QuerySpec", "run_campaign_parallel",
+    "run_tasks_parallel",
+]

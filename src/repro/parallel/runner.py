@@ -1,0 +1,202 @@
+"""Parallel campaign execution (paper Section 6.1, "Running Time").
+
+The paper runs its symbolic fault-injection campaigns as independent search
+tasks distributed over a cluster.  This module reproduces that execution
+model on a single host with a :mod:`multiprocessing` worker pool:
+
+* the injection sweep is split into chunks (:func:`~repro.core.tasks.
+  chunk_injections`), each chunk a self-contained unit of work;
+* a pool of workers — each initialised once with the campaign and query
+  specs — executes chunks as they become free (dynamic load balancing via
+  ``imap_unordered``);
+* results are merged back in submission order, so a parallel run produces a
+  :class:`~repro.core.campaign.CampaignResult` with exactly the same
+  results, in the same order, as the serial sweep.
+
+Determinism: each injection experiment is a pure function of the campaign
+configuration and the injection, so sharding cannot change any individual
+result; the submission-ordered merge makes the aggregate identical too.
+Only wall-clock fields (`elapsed_seconds`, per-search timings) and searches
+bounded by a *wall-clock* budget may differ between runs — the same caveat
+the paper's 30-minute per-task cap carries on a loaded cluster.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.campaign import (CampaignResult, ExecutionStrategy,
+                             InjectionResult, ProgressCallback,
+                             SerialExecutionStrategy, SymbolicCampaign)
+from ..core.queries import SearchQuery
+from ..core.tasks import (SearchTask, SerialTaskStrategy, TaskCampaignReport,
+                          TaskExecutionStrategy, TaskResult, TaskRunner,
+                          chunk_injections, default_chunk_size)
+from ..errors.injector import Injection
+from .spec import CampaignSpec, QuerySpec
+from .worker import initialize_worker, run_injection_chunk, run_search_task
+
+
+@dataclass
+class ParallelConfig:
+    """Tunable parameters of the worker-pool runner.
+
+    Attributes:
+        workers: size of the process pool; ``workers <= 1`` falls back to the
+            serial in-process path (no pool is created).
+        chunk_size: injections per unit of work; ``None`` picks a heuristic
+            of a few chunks per worker (small enough to balance load, large
+            enough to amortise dispatch overhead).
+        start_method: multiprocessing start method (``"fork"``, ``"spawn"``,
+            ``"forkserver"``); ``None`` uses the platform default.
+    """
+
+    workers: int = 2
+    chunk_size: Optional[int] = None
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+    def resolve_chunk_size(self, total: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return default_chunk_size(total, self.workers)
+
+    def context(self):
+        return multiprocessing.get_context(self.start_method)
+
+
+def _check_query_consistency(query: Optional[SearchQuery],
+                             query_spec: QuerySpec) -> SearchQuery:
+    """Guard against the spec and the in-process query drifting apart.
+
+    Workers rebuild the query from *query_spec*; if the caller also holds a
+    live query it must describe the same predicate, otherwise the parallel
+    run would silently answer a different question than the serial one.
+    """
+    built = query_spec.build()
+    if query is not None and query.description != built.description:
+        raise ValueError(
+            f"query spec builds {built.description!r} but the campaign was "
+            f"asked to search for {query.description!r}; pass a matching "
+            f"QuerySpec so workers search for the same predicate")
+    return built
+
+
+class ParallelExecutionStrategy(ExecutionStrategy):
+    """Shard a campaign's injection sweep across a worker pool.
+
+    Plugs into :meth:`SymbolicCampaign.run`; the query given to ``run`` must
+    match *query_spec* (workers rebuild the predicate from the spec, since
+    live queries do not pickle).
+    """
+
+    name = "parallel"
+
+    def __init__(self, query_spec: QuerySpec,
+                 config: Optional[ParallelConfig] = None) -> None:
+        self.query_spec = query_spec
+        self.config = config or ParallelConfig()
+
+    def run(self, campaign: SymbolicCampaign,
+            injections: Sequence[Injection], query: SearchQuery,
+            progress: Optional[ProgressCallback] = None,
+            ) -> List[InjectionResult]:
+        _check_query_consistency(query, self.query_spec)
+        injections = list(injections)
+        if self.config.workers <= 1 or len(injections) <= 1:
+            return SerialExecutionStrategy().run(campaign, injections,
+                                                 query, progress=progress)
+
+        chunk_size = self.config.resolve_chunk_size(len(injections))
+        chunks = chunk_injections(injections, chunk_size)
+        payloads = list(enumerate(chunks))
+        spec = CampaignSpec.from_campaign(campaign)
+        merged: Dict[int, List[InjectionResult]] = {}
+        done_injections = 0
+        with self.config.context().Pool(
+                processes=min(self.config.workers, len(chunks)),
+                initializer=initialize_worker,
+                initargs=(spec, self.query_spec)) as pool:
+            for index, results in pool.imap_unordered(run_injection_chunk,
+                                                      payloads):
+                merged[index] = results
+                done_injections += len(results)
+                if progress is not None and results:
+                    progress(done_injections, len(injections), results[-1])
+        # Deterministic merge: flatten in chunk-submission order.
+        return [result for index in sorted(merged)
+                for result in merged[index]]
+
+
+class ParallelTaskStrategy(TaskExecutionStrategy):
+    """Distribute whole search tasks (paper's cluster unit) over the pool."""
+
+    name = "parallel"
+
+    def __init__(self, query_spec: QuerySpec,
+                 config: Optional[ParallelConfig] = None) -> None:
+        self.query_spec = query_spec
+        self.config = config or ParallelConfig()
+
+    def run(self, runner: TaskRunner, tasks: Sequence[SearchTask],
+            query: SearchQuery,
+            progress: Optional[Callable[[int, int, TaskResult], None]] = None,
+            ) -> List[TaskResult]:
+        _check_query_consistency(query, self.query_spec)
+        tasks = list(tasks)
+        if self.config.workers <= 1 or len(tasks) <= 1:
+            return SerialTaskStrategy().run(runner, tasks, query,
+                                            progress=progress)
+
+        spec = CampaignSpec.from_campaign(runner.campaign)
+        payloads = list(enumerate(tasks))
+        merged: Dict[int, TaskResult] = {}
+        with self.config.context().Pool(
+                processes=min(self.config.workers, len(tasks)),
+                initializer=initialize_worker,
+                initargs=(spec, self.query_spec,
+                          runner.max_errors_per_task,
+                          runner.wall_clock_per_task)) as pool:
+            for index, result in pool.imap_unordered(run_search_task,
+                                                     payloads):
+                merged[index] = result
+                if progress is not None:
+                    progress(len(merged), len(tasks), result)
+        return [merged[index] for index in sorted(merged)]
+
+
+def run_campaign_parallel(campaign: SymbolicCampaign,
+                          query_spec: QuerySpec,
+                          injections: Optional[Sequence[Injection]] = None,
+                          config: Optional[ParallelConfig] = None,
+                          progress: Optional[ProgressCallback] = None,
+                          ) -> CampaignResult:
+    """Run a symbolic campaign on a worker pool.
+
+    Produces a :class:`CampaignResult` equal (in results and ordering) to
+    ``campaign.run(query, injections=...)`` with the query built from
+    *query_spec*; see the module docstring for the determinism guarantees.
+    """
+    query = query_spec.build()
+    strategy = ParallelExecutionStrategy(query_spec, config)
+    return campaign.run(query, injections=injections, progress=progress,
+                        strategy=strategy)
+
+
+def run_tasks_parallel(runner: TaskRunner, tasks: Sequence[SearchTask],
+                       query_spec: QuerySpec,
+                       config: Optional[ParallelConfig] = None,
+                       progress: Optional[Callable[[int, int, TaskResult],
+                                                   None]] = None,
+                       ) -> TaskCampaignReport:
+    """Run decomposed search tasks on a worker pool (the paper's cluster)."""
+    query = query_spec.build()
+    strategy = ParallelTaskStrategy(query_spec, config)
+    return runner.run(tasks, query, progress=progress, strategy=strategy)

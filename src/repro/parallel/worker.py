@@ -1,0 +1,67 @@
+"""Worker-side entry points of the parallel campaign runner.
+
+Each pool worker is initialised once with the campaign and query specs and
+keeps the rebuilt objects — plus a per-process
+:class:`~repro.core.search.SearchResultCache` shared across every chunk and
+task the worker processes — in module globals.  The work functions are
+module-level so they are picklable under every multiprocessing start method.
+
+Chunks are identified by their submission index; workers echo the index back
+with their results so the parent can merge out-of-order completions into a
+deterministic, submission-ordered report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.campaign import InjectionResult, SymbolicCampaign
+from ..core.queries import SearchQuery
+from ..core.search import SearchResultCache
+from ..core.tasks import SearchTask, TaskResult, TaskRunner
+from ..errors.injector import Injection
+from .spec import CampaignSpec, QuerySpec
+
+#: Per-process worker context, populated by :func:`initialize_worker`.
+_WORKER: Dict[str, object] = {}
+
+
+def initialize_worker(campaign_spec: CampaignSpec, query_spec: QuerySpec,
+                      max_errors_per_task: int = 10,
+                      wall_clock_per_task: Optional[float] = None) -> None:
+    """Pool initializer: rebuild the campaign, query and task runner once."""
+    campaign = campaign_spec.build()
+    _WORKER["campaign"] = campaign
+    _WORKER["query"] = query_spec.build()
+    _WORKER["cache"] = SearchResultCache()
+    _WORKER["task_runner"] = TaskRunner(
+        campaign, max_errors_per_task=max_errors_per_task,
+        wall_clock_per_task=wall_clock_per_task)
+
+
+def _context() -> Tuple[SymbolicCampaign, SearchQuery, SearchResultCache]:
+    try:
+        return (_WORKER["campaign"], _WORKER["query"], _WORKER["cache"])
+    except KeyError:  # pragma: no cover - indicates a mis-built pool
+        raise RuntimeError("worker used before initialize_worker ran") from None
+
+
+def run_injection_chunk(payload: Tuple[int, Tuple[Injection, ...]],
+                        ) -> Tuple[int, List[InjectionResult]]:
+    """Run one chunk of injection experiments; returns (chunk index, results)."""
+    index, injections = payload
+    campaign, query, cache = _context()
+    results = [campaign.run_injection(injection, query, result_cache=cache)
+               for injection in injections]
+    return index, results
+
+
+def run_search_task(payload: Tuple[int, SearchTask],
+                    ) -> Tuple[int, TaskResult]:
+    """Run one search task under its per-task caps (paper Section 6.1)."""
+    index, task = payload
+    _context()
+    runner: TaskRunner = _WORKER["task_runner"]  # type: ignore[assignment]
+    result = runner.run_task(task, _WORKER["query"],
+                             result_cache=_WORKER["cache"])
+    return index, result

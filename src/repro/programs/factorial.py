@@ -8,7 +8,6 @@ the previous product so the second detector can validate the multiplication.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from ..detectors import DetectorSet
 from ..isa.parser import assemble

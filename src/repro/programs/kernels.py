@@ -8,7 +8,7 @@ class finishes quickly, which is what the Table 1 benchmark needs.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 from ..isa.parser import assemble
 from .base import Workload

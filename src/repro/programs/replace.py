@@ -29,7 +29,7 @@ between Python strings and this encoding.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..lang import CompiledProgram, compile_source
 from .base import Workload

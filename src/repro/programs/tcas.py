@@ -15,7 +15,7 @@ makes the program print 2 instead.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..lang import CompiledProgram, compile_source
 from .base import Workload

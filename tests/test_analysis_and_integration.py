@@ -18,8 +18,7 @@ from repro.core import (SymbolicCampaign, TaskRunner, decompose_by_code_section,
                         printed_value_other_than, witnesses_from_campaign)
 from repro.errors import Injection, RegisterFileError
 from repro.machine import ExecutionConfig
-from repro.programs import (encode_input, factorial_workload, replace_workload,
-                            tcas_workload)
+from repro.programs import factorial_workload, replace_workload, tcas_workload
 
 
 def tcas_symbolic_campaign(workload, **overrides):

@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.core import (SymbolicCampaign, TaskRunner, Witness,
+from repro.core import (SymbolicCampaign, TaskRunner,
                         decompose_by_code_section, decompose_by_injection,
                         output_contains_err, printed_value_other_than,
                         witnesses_from_campaign)
-from repro.errors import Injection, RegisterFileError
+from repro.errors import Injection
 from repro.constraints import Location
 from repro.machine import ExecutionConfig
 from repro.programs import (factorial_workload,
@@ -128,6 +128,29 @@ class TestTaskDecomposition:
         tasks = decompose_by_injection(self.sample_injections(4))
         assert len(tasks) == 4
         assert all(len(task) == 1 for task in tasks)
+
+    def test_empty_campaign_decomposes_to_no_tasks(self):
+        assert decompose_by_code_section([], num_tasks=5) == []
+        assert decompose_by_injection([]) == []
+
+    def test_empty_campaign_report_is_all_zero(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        runner = TaskRunner(campaign)
+        report = runner.run([], output_contains_err())
+        assert report.total_tasks == 0
+        assert report.completed_tasks == 0
+        assert report.total_errors_found == 0
+        assert report.average_completion_seconds() == 0.0
+        assert report.max_completion_seconds() == 0.0
+
+    def test_empty_campaign_run_produces_empty_result(self):
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        result = campaign.run(output_contains_err(), injections=[])
+        assert result.injections_run == 0
+        assert result.total_solutions == 0
+        assert result.solutions() == []
 
 
 class TestTaskRunner:

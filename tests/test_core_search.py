@@ -3,15 +3,15 @@
 import pytest
 
 from repro.constraints import Location
-from repro.core import (BoundedModelChecker, OutcomeKind, classify, crashed,
-                        detected, golden_run_output, halted_normally, hung,
-                        incorrect_output, output_contains_err, output_differs,
-                        output_equals, printed_value, printed_value_other_than,
+from repro.core import (BoundedModelChecker, OutcomeKind, SearchResultCache,
+                        classify, crashed, detected, golden_run_output,
+                        halted_normally, hung, incorrect_output,
+                        output_contains_err, output_differs, output_equals,
+                        printed_value, printed_value_other_than,
                         undetected_failure)
 from repro.errors import Injection, prepare_injected_state
-from repro.isa.parser import assemble
 from repro.isa.values import ERR
-from repro.machine import ExecutionConfig, Executor, MachineState, Status, initial_state
+from repro.machine import ExecutionConfig, Executor, MachineState, Status
 from repro.programs import factorial_workload, loop_counter_injection_pc
 
 
@@ -190,6 +190,76 @@ class TestBoundedModelChecker:
                 if values and not values[-1] is ERR:
                     printed.add(values[-1])
         assert {5, 20, 60, 120}.issubset(printed)
+
+    def test_wall_clock_budget_uses_monotonic_clock(self, monkeypatch):
+        """The search budget must be immune to wall-clock adjustments.
+
+        A backwards `time.time` jump (NTP correction, DST, manual reset) must
+        neither prematurely kill nor unbound a search, so the implementation
+        has to read `time.monotonic`.  Sabotage `time.time` and check a
+        tightly-budgeted search still terminates with the correct verdict.
+        """
+        import time as time_module
+
+        def broken_time():
+            raise AssertionError("search must not consult time.time()")
+
+        monkeypatch.setattr(time_module, "time", broken_time)
+        checker, injected = self.make_factorial_search(
+            max_solutions=1000, max_states=100_000, wall_clock_seconds=60.0)
+        result = checker.search_single(injected, output_contains_err())
+        assert result.completed
+        assert result.stop_reason == "exhausted"
+        assert result.statistics.elapsed_seconds < 60.0
+
+    def test_result_cache_hit_returns_identical_result(self):
+        cache = SearchResultCache()
+        checker, injected = self.make_factorial_search(
+            max_solutions=50, max_states=50_000, result_cache=cache)
+        first = checker.search_single(injected.copy(), output_contains_err())
+        second = checker.search_single(injected.copy(), output_contains_err())
+        assert cache.statistics.hits == 1
+        assert cache.statistics.misses == 1
+        assert cache.statistics.stores == 1
+        assert second is first  # the memoised object itself
+        assert len(cache) == 1
+
+    def test_result_cache_distinguishes_queries_and_caps(self):
+        cache = SearchResultCache()
+        checker, injected = self.make_factorial_search(
+            max_solutions=50, max_states=50_000, result_cache=cache)
+        checker.search_single(injected.copy(), output_contains_err())
+        checker.search_single(injected.copy(), halted_normally())
+        checker.max_states = 40_000
+        checker.search_single(injected.copy(), output_contains_err())
+        assert cache.statistics.hits == 0
+        assert len(cache) == 3
+
+    def test_result_cache_distinguishes_executors(self):
+        """Identical states under different executors must not cross-talk
+        (the executor carries the program, detectors and config)."""
+        cache = SearchResultCache()
+        checker_a, injected_a = self.make_factorial_search(
+            max_solutions=50, max_states=50_000, result_cache=cache)
+        checker_b, injected_b = self.make_factorial_search(
+            max_solutions=50, max_states=50_000, result_cache=cache)
+        checker_a.search_single(injected_a.copy(), output_contains_err())
+        checker_b.search_single(injected_b.copy(), output_contains_err())
+        assert cache.statistics.hits == 0
+        assert len(cache) == 2
+
+    def test_result_cache_eviction_bound(self):
+        cache = SearchResultCache(max_entries=1)
+        checker, injected = self.make_factorial_search(
+            max_solutions=50, max_states=50_000, result_cache=cache)
+        checker.search_single(injected.copy(), output_contains_err())
+        checker.search_single(injected.copy(), halted_normally())
+        assert len(cache) == 1
+        assert cache.statistics.evictions == 1
+
+    def test_result_cache_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            SearchResultCache(max_entries=0)
 
     def test_concretize_option_gives_same_outcomes(self):
         workload = factorial_workload()

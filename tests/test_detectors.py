@@ -3,9 +3,9 @@
 import pytest
 
 from repro.constraints import ComparisonOp, Constraint, Location
-from repro.detectors import (Detector, DetectorError, DetectorSet, execute_detector,
-                             parse_detector, parse_expression, read_location,
-                             single_location)
+from repro.detectors import (DetectorError, DetectorSet, execute_detector,
+                             parse_detector, parse_expression,
+                             read_location, single_location)
 from repro.detectors.expression import (BinaryOp, Constant, ExpressionError,
                                         MemoryRef, RegisterRef)
 from repro.isa.parser import assemble

@@ -2,17 +2,15 @@
 
 import pytest
 
-from repro.constraints import Location
 from repro.detectors import DetectorSet
 from repro.isa.parser import assemble
 from repro.isa.values import ERR, is_err
 from repro.machine import (DIVIDE_BY_ZERO, ExecutionConfig, Executor,
-                           ILLEGAL_ADDRESS, ILLEGAL_INSTRUCTION, INPUT_EXHAUSTED,
-                           MachineModelError, MachineState, Status, TIMED_OUT,
-                           concrete_step, initial_state, run_concrete,
-                           run_concrete_until)
+                           ILLEGAL_ADDRESS, ILLEGAL_INSTRUCTION,
+                           INPUT_EXHAUSTED, MachineModelError, Status,
+                           TIMED_OUT, concrete_step, initial_state,
+                           run_concrete, run_concrete_until)
 from repro.machine.executor import SymbolicValueEncountered
-from repro.machine.state import state_contains_err
 
 
 def run_symbolic(source, state=None, detectors=DetectorSet(), max_steps=500,

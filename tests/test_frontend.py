@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core import OutcomeKind, SearchQuery
-from repro.frontend import (MipsTranslationError, MipsTranslator, QUERY_KINDS,
-                            generate, generate_campaign, generate_query,
+from repro.core import SearchQuery
+from repro.frontend import (MipsTranslationError, QUERY_KINDS, generate,
+                            generate_campaign, generate_query,
                             translate_mips)
 from repro.machine import Status, initial_state, run_concrete
 from repro.programs import factorial_workload, sum_input_workload

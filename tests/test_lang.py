@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.lang import (CompileError, LexerError, ParseError, compile_source,
                         parse_source, tokenize)
-from repro.lang.nodes import Binary, Call, Function, If, NumberLiteral, While
+from repro.lang.nodes import Binary, If, While
 from repro.machine import Status, run_concrete, initial_state
 
 

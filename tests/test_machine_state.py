@@ -5,7 +5,6 @@ import pytest
 from repro.constraints import ComparisonOp, Constraint, Location
 from repro.isa.values import ERR
 from repro.machine.state import MachineState, Status, initial_state, state_contains_err
-from repro.machine.exceptions import MachineModelError
 
 
 class TestRegisters:

@@ -4,12 +4,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.machine import Status
-from repro.programs import (DOWNWARD_ADVISORY_INPUT, UPWARD_ADVISORY_INPUT,
-                            WORKLOADS, decode_output, encode_input,
-                            factorial_workload, factorial_with_detectors_workload,
-                            load_workload, loop_counter_injection_pc, make_input,
-                            reference_alt_sep_test, reference_replace,
-                            replace_workload, tcas_workload)
+from repro.programs import (DOWNWARD_ADVISORY_INPUT, WORKLOADS,
+                            decode_output, encode_input,
+                            factorial_workload,
+                            factorial_with_detectors_workload,
+                            load_workload, loop_counter_injection_pc,
+                            make_input, reference_alt_sep_test,
+                            reference_replace, replace_workload,
+                            tcas_workload)
 from repro.programs.kernels import (call_max_workload, memory_walk_workload,
                                     safe_divide_workload, sum_input_workload)
 
