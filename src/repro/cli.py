@@ -25,7 +25,8 @@ from typing import Optional, Sequence
 
 from .analysis import campaign_outcome_summary, format_witnesses
 from .concrete import ConcreteCampaign, printed_value_labeler
-from .core import SymbolicCampaign, witnesses_from_campaign
+from .core import SearchResultCache, SymbolicCampaign, witnesses_from_campaign
+from .core.campaign import SerialExecutionStrategy
 from .detectors import DetectorSet, EMPTY_DETECTORS
 from .errors import STANDARD_ERROR_CLASSES, error_class
 from .frontend import generate_query, translate_mips
@@ -213,18 +214,27 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
     progress = report_progress if args.progress else None
 
+    cache_statistics = None
     if args.workers > 1:
-        from .parallel import (ParallelConfig, QuerySpec,
-                               run_campaign_parallel)
+        from .parallel import ParallelConfig, ParallelExecutionStrategy, QuerySpec
         query_spec = QuerySpec.predefined(args.query, golden_output=golden,
                                           expected_value=expected)
-        result = run_campaign_parallel(
-            campaign, query_spec, injections=injections,
-            config=ParallelConfig(workers=args.workers,
-                                  chunk_size=args.chunk_size),
-            progress=progress)
+        strategy = ParallelExecutionStrategy(
+            query_spec, ParallelConfig(workers=args.workers,
+                                       chunk_size=args.chunk_size))
+        result = campaign.run(query, injections=injections,
+                              progress=progress, strategy=strategy)
+        cache_statistics = strategy.cache_statistics
     else:
-        result = campaign.run(query, injections=injections, progress=progress)
+        # Thread one result cache through the serial sweep so convergent
+        # injection points are searched only once (workers keep their own).
+        cache = SearchResultCache()
+        result = campaign.run(query, injections=injections, progress=progress,
+                              strategy=SerialExecutionStrategy(result_cache=cache))
+        cache_statistics = cache.statistics
+    if args.progress and cache_statistics is not None:
+        print(f"search-result cache: {cache_statistics.describe()}",
+              file=sys.stderr)
     print()
     print(result.describe())
     print()

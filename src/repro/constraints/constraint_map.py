@@ -26,13 +26,17 @@ class ConstraintMap:
     sharing unmodified entries with the original, which keeps forking cheap.
     """
 
-    __slots__ = ("_sets", "_relational")
+    __slots__ = ("_sets", "_relational", "_hash", "empty")
 
     def __init__(self,
                  sets: Optional[Dict[Location, ConstraintSet]] = None,
                  relational: FrozenSet[RelationalConstraint] = frozenset()) -> None:
         self._sets: Dict[Location, ConstraintSet] = dict(sets or {})
         self._relational: FrozenSet[RelationalConstraint] = relational
+        self._hash: Optional[int] = None
+        #: True when the map records nothing at all — the hot-path writes in
+        #: the machine state skip constraint bookkeeping entirely then.
+        self.empty: bool = not self._sets and not self._relational
 
     # ------------------------------------------------------------------ access
 
@@ -58,7 +62,18 @@ class ConstraintMap:
                 and self._relational == other._relational)
 
     def __hash__(self) -> int:
-        return hash((frozenset(self._sets.items()), self._relational))
+        # Maps are immutable-by-convention, so the hash is computed once;
+        # every machine-state fingerprint includes it.
+        value = self._hash
+        if value is None:
+            value = hash((frozenset(self._sets.items()), self._relational))
+            self._hash = value
+        return value
+
+    def __reduce__(self):
+        # Rebuild through __init__ on unpickling: the cached hash is salted
+        # per process (string hashing) and must not travel between workers.
+        return (ConstraintMap, (self._sets, self._relational))
 
     def __repr__(self) -> str:
         parts = [f"{loc!r}: {cset!r}" for loc, cset in sorted(

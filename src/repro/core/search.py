@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..machine.executor import Executor, run_concrete
-from ..machine.state import MachineState, state_contains_err
+from ..machine.state import Fingerprint, MachineState, state_contains_err
 from .queries import SearchQuery
 
 
@@ -95,6 +95,18 @@ class CacheStatistics:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def accumulate(self, other: "CacheStatistics") -> None:
+        """Fold another counter set into this one (per-worker aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.evictions += other.evictions
+
+    def describe(self) -> str:
+        return (f"lookups={self.lookups} hits={self.hits} "
+                f"misses={self.misses} hit_rate={self.hit_rate:.1%} "
+                f"stores={self.stores} evictions={self.evictions}")
+
 
 class SearchResultCache:
     """Memoises completed searches across injection experiments.
@@ -142,14 +154,15 @@ class SearchResultCache:
             self.statistics.misses += 1
         else:
             self.statistics.hits += 1
+            # True LRU: refresh the entry's position so a hot key recycled
+            # by every injection point cannot be evicted by colder ones.
+            self._entries[key] = self._entries.pop(key)
         return result
 
     def store(self, key: Tuple, result: SearchResult) -> None:
         if self.max_entries is not None and key not in self._entries \
                 and len(self._entries) >= self.max_entries:
-            # Drop the oldest entry (insertion order) — campaigns sweep the
-            # program front to back, so old entries are the least likely to
-            # recur.
+            # Drop the least-recently-used entry (get() refreshes recency).
             self._entries.pop(next(iter(self._entries)))
             self.statistics.evictions += 1
         self._entries[key] = result
@@ -191,7 +204,10 @@ class BoundedModelChecker:
         statistics = SearchStatistics()
         solutions: List[Solution] = []
         frontier: deque = deque()
-        seen: Set[Tuple] = set()
+        # Fingerprints hash in O(1) (rolling hashes maintained by the state's
+        # write API) and compare structurally on collision, so membership
+        # tests here cost O(1) expected without risking a false merge.
+        seen: Set[Fingerprint] = set()
         stop_reason = "exhausted"
         completed = True
 

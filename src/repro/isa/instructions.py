@@ -118,6 +118,20 @@ COMPARE_RRR = ("seteq", "setne", "setgt", "setlt", "setge", "setle")
 #: Comparison setters (immediate form).
 COMPARE_RRI = ("seteqi", "setnei", "setgti", "setlti", "setgei", "setlei")
 
+_COMPARE_BASE_OPCODES = frozenset(COMPARE_RRR)
+
+
+def compare_base_opcode(opcode: str) -> str:
+    """Strip the immediate suffix from a comparison-setter mnemonic.
+
+    ``seteqi`` -> ``seteq``, ``setlt`` -> ``setlt``.  The single place where
+    the immediate/register spelling of a comparison is normalised — shared by
+    the symbolic and the concrete interpreter so the two cannot drift.
+    """
+    if opcode.endswith("i") and opcode not in _COMPARE_BASE_OPCODES:
+        return opcode[:-1]
+    return opcode
+
 
 def _build_instruction_table() -> Dict[str, InstructionSpec]:
     table: Dict[str, InstructionSpec] = {}

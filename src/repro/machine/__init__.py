@@ -3,14 +3,16 @@
 from .exceptions import (DETECTOR_PREFIX, DIVIDE_BY_ZERO, ILLEGAL_ADDRESS,
                          ILLEGAL_INSTRUCTION, INPUT_EXHAUSTED, MachineModelError,
                          TIMED_OUT, detector_exception)
-from .state import MachineState, Status, TraceEntry, initial_state
+from .state import (CowMemory, CowRegisters, Fingerprint, MachineState,
+                    Status, TraceEntry, initial_state, state_contains_err)
 from .executor import (ExecutionConfig, Executor, SymbolicValueEncountered,
                        concrete_step, run_concrete, run_concrete_until)
 
 __all__ = [
     "DETECTOR_PREFIX", "DIVIDE_BY_ZERO", "ILLEGAL_ADDRESS", "ILLEGAL_INSTRUCTION",
     "INPUT_EXHAUSTED", "MachineModelError", "TIMED_OUT", "detector_exception",
-    "MachineState", "Status", "TraceEntry", "initial_state",
+    "CowMemory", "CowRegisters", "Fingerprint",
+    "MachineState", "Status", "TraceEntry", "initial_state", "state_contains_err",
     "ExecutionConfig", "Executor", "SymbolicValueEncountered",
     "concrete_step", "run_concrete", "run_concrete_until",
 ]

@@ -29,13 +29,14 @@ from ..detectors import DetectorSet, EMPTY_DETECTORS, execute_detector
 from ..errors.comparison import resolve_comparison
 from ..errors.propagation import (IMMEDIATE_ALIASES, NonDeterministicOperation,
                                   concrete_binary, symbolic_binary)
-from ..isa.instructions import Category, Instruction, RETURN_ADDRESS_REGISTER
+from ..isa.instructions import (Category, Instruction,
+                                RETURN_ADDRESS_REGISTER, compare_base_opcode)
 from ..isa.program import Program
 from ..isa.values import ERR, Value, is_err
 from .exceptions import (DIVIDE_BY_ZERO, ILLEGAL_ADDRESS, ILLEGAL_INSTRUCTION,
                          INPUT_EXHAUSTED, MachineModelError, TIMED_OUT,
                          detector_exception)
-from .state import MachineState
+from .state import MachineState, TraceEntry
 
 
 #: Comparison operator implemented by each comparison-setter opcode.
@@ -121,7 +122,7 @@ class Executor:
         for successor in successors:
             successor.steps = state.steps + 1
             if self.config.record_trace:
-                successor.trace.append(_trace_entry(state, instruction, successor))
+                successor.add_trace_entry(TraceEntry(state.pc, instruction.render()))
         return successors
 
     def run(self, state: MachineState,
@@ -220,9 +221,7 @@ class Executor:
     def _execute_compare(self, state: MachineState,
                          instruction: Instruction) -> List[MachineState]:
         rd, rs = instruction.operands[0], instruction.operands[1]
-        opcode = instruction.opcode[:-1] if instruction.opcode.endswith("i") \
-            and instruction.opcode not in _COMPARE_OPS else instruction.opcode
-        op = _COMPARE_OPS[opcode]
+        op = _COMPARE_OPS[compare_base_opcode(instruction.opcode)]
         left, left_location = self._register_value(state, rs)
         third = instruction.operands[2]
         if instruction.spec.signature[2].value == "reg":
@@ -466,12 +465,6 @@ class Executor:
     }
 
 
-def _trace_entry(state: MachineState, instruction: Instruction,
-                 successor: MachineState):
-    from .state import TraceEntry
-    return TraceEntry(state.pc, instruction.render())
-
-
 # --------------------------------------------------------------------------
 # Lean concrete interpreter (SimpleScalar-substitute building block).
 # --------------------------------------------------------------------------
@@ -510,38 +503,33 @@ def concrete_step(program: Program, state: MachineState,
         if operator in ("div", "mod") and right == 0:
             state.throw(DIVIDE_BY_ZERO)
             return state
-        state.registers[rd] = concrete_binary(operator, left, right) if rd != 0 else 0
+        state.write_register(rd, concrete_binary(operator, left, right))
         state.pc = pc + 1
     elif category is Category.COMPARE:
         rd, rs, third = operands
-        base_opcode = opcode[:-1] if opcode not in _COMPARE_OPS else opcode
-        op = _COMPARE_OPS[base_opcode]
+        op = _COMPARE_OPS[compare_base_opcode(opcode)]
         left = reg(rs)
         right = reg(third) if instruction.spec.signature[2].value == "reg" else third
-        if rd != 0:
-            state.registers[rd] = 1 if op.evaluate(left, right) else 0
+        state.write_register(rd, 1 if op.evaluate(left, right) else 0)
         state.pc = pc + 1
     elif category is Category.MOVE:
-        rd = operands[0]
         value = reg(operands[1]) if opcode == "mov" else operands[1]
-        if rd != 0:
-            state.registers[rd] = value
+        state.write_register(operands[0], value)
         state.pc = pc + 1
     elif category is Category.LOAD:
         rt, rs, offset = operands
         address = reg(rs) + offset
-        if address not in state.memory:
+        if not state.is_defined_address(address):
             state.throw(ILLEGAL_ADDRESS)
             return state
-        value = state.memory[address]
+        value = state.read_memory(address)
         if is_err(value):
             raise SymbolicValueEncountered(f"memory {address} is err")
-        if rt != 0:
-            state.registers[rt] = value
+        state.write_register(rt, value)
         state.pc = pc + 1
     elif category is Category.STORE:
         rt, rs, offset = operands
-        state.memory[reg(rs) + offset] = reg(rt)
+        state.write_memory(reg(rs) + offset, reg(rt))
         state.pc = pc + 1
     elif category is Category.BRANCH:
         rs, immediate, label = operands
@@ -551,7 +539,7 @@ def concrete_step(program: Program, state: MachineState,
     elif category is Category.JUMP:
         state.pc = program.resolve(operands[0])
     elif category is Category.CALL:
-        state.registers[RETURN_ADDRESS_REGISTER] = pc + 1
+        state.write_register(RETURN_ADDRESS_REGISTER, pc + 1)
         state.pc = program.resolve(operands[0])
     elif category is Category.JUMP_REGISTER:
         target = reg(operands[0])
@@ -563,9 +551,7 @@ def concrete_step(program: Program, state: MachineState,
         if not state.has_input():
             state.throw(INPUT_EXHAUSTED)
             return state
-        value = state.next_input()
-        if operands[0] != 0:
-            state.registers[operands[0]] = value
+        state.write_register(operands[0], state.next_input())
         state.pc = pc + 1
     elif category is Category.IO_WRITE:
         if opcode == "print":

@@ -31,6 +31,7 @@ from ..core.campaign import (CampaignResult, ExecutionStrategy,
                              InjectionResult, ProgressCallback,
                              SerialExecutionStrategy, SymbolicCampaign)
 from ..core.queries import SearchQuery
+from ..core.search import CacheStatistics, SearchResultCache
 from ..core.tasks import (SearchTask, SerialTaskStrategy, TaskCampaignReport,
                           TaskExecutionStrategy, TaskResult, TaskRunner,
                           chunk_injections, default_chunk_size)
@@ -72,6 +73,15 @@ class ParallelConfig:
         return multiprocessing.get_context(self.start_method)
 
 
+def _merge_cache_statistics(worker_stats: Dict[str, "CacheStatistics"],
+                            ) -> CacheStatistics:
+    """Sum the final per-worker cache counters into one aggregate."""
+    total = CacheStatistics()
+    for stats in worker_stats.values():
+        total.accumulate(stats)
+    return total
+
+
 def _check_query_consistency(query: Optional[SearchQuery],
                              query_spec: QuerySpec) -> SearchQuery:
     """Guard against the spec and the in-process query drifting apart.
@@ -103,33 +113,45 @@ class ParallelExecutionStrategy(ExecutionStrategy):
                  config: Optional[ParallelConfig] = None) -> None:
         self.query_spec = query_spec
         self.config = config or ParallelConfig()
+        #: SearchResultCache counters of the last run: aggregated across
+        #: workers for pooled runs, from the sweep-wide cache for the serial
+        #: fallback.  None until a run completes.
+        self.cache_statistics: Optional[CacheStatistics] = None
 
     def run(self, campaign: SymbolicCampaign,
             injections: Sequence[Injection], query: SearchQuery,
             progress: Optional[ProgressCallback] = None,
             ) -> List[InjectionResult]:
         _check_query_consistency(query, self.query_spec)
+        self.cache_statistics = None  # no stale counters if this run fails
         injections = list(injections)
         if self.config.workers <= 1 or len(injections) <= 1:
-            return SerialExecutionStrategy().run(campaign, injections,
-                                                 query, progress=progress)
+            cache = SearchResultCache()
+            results = SerialExecutionStrategy(result_cache=cache).run(
+                campaign, injections, query, progress=progress)
+            self.cache_statistics = cache.statistics
+            return results
 
         chunk_size = self.config.resolve_chunk_size(len(injections))
         chunks = chunk_injections(injections, chunk_size)
         payloads = list(enumerate(chunks))
         spec = CampaignSpec.from_campaign(campaign)
         merged: Dict[int, List[InjectionResult]] = {}
+        worker_stats: Dict[str, CacheStatistics] = {}
         done_injections = 0
         with self.config.context().Pool(
                 processes=min(self.config.workers, len(chunks)),
                 initializer=initialize_worker,
                 initargs=(spec, self.query_spec)) as pool:
-            for index, results in pool.imap_unordered(run_injection_chunk,
-                                                      payloads):
+            for index, results, snapshot in pool.imap_unordered(
+                    run_injection_chunk, payloads):
                 merged[index] = results
+                worker_name, stats = snapshot
+                worker_stats[worker_name] = stats  # counters are monotonic
                 done_injections += len(results)
                 if progress is not None and results:
                     progress(done_injections, len(injections), results[-1])
+        self.cache_statistics = _merge_cache_statistics(worker_stats)
         # Deterministic merge: flatten in chunk-submission order.
         return [result for index in sorted(merged)
                 for result in merged[index]]
@@ -144,31 +166,40 @@ class ParallelTaskStrategy(TaskExecutionStrategy):
                  config: Optional[ParallelConfig] = None) -> None:
         self.query_spec = query_spec
         self.config = config or ParallelConfig()
+        self.cache_statistics: Optional[CacheStatistics] = None
 
     def run(self, runner: TaskRunner, tasks: Sequence[SearchTask],
             query: SearchQuery,
             progress: Optional[Callable[[int, int, TaskResult], None]] = None,
             ) -> List[TaskResult]:
         _check_query_consistency(query, self.query_spec)
+        self.cache_statistics = None
         tasks = list(tasks)
         if self.config.workers <= 1 or len(tasks) <= 1:
-            return SerialTaskStrategy().run(runner, tasks, query,
-                                            progress=progress)
+            cache = SearchResultCache()
+            results = SerialTaskStrategy(result_cache=cache).run(
+                runner, tasks, query, progress=progress)
+            self.cache_statistics = cache.statistics
+            return results
 
         spec = CampaignSpec.from_campaign(runner.campaign)
         payloads = list(enumerate(tasks))
         merged: Dict[int, TaskResult] = {}
+        worker_stats: Dict[str, CacheStatistics] = {}
         with self.config.context().Pool(
                 processes=min(self.config.workers, len(tasks)),
                 initializer=initialize_worker,
                 initargs=(spec, self.query_spec,
                           runner.max_errors_per_task,
                           runner.wall_clock_per_task)) as pool:
-            for index, result in pool.imap_unordered(run_search_task,
-                                                     payloads):
+            for index, result, snapshot in pool.imap_unordered(run_search_task,
+                                                               payloads):
                 merged[index] = result
+                worker_name, stats = snapshot
+                worker_stats[worker_name] = stats
                 if progress is not None:
                     progress(len(merged), len(tasks), result)
+        self.cache_statistics = _merge_cache_statistics(worker_stats)
         return [merged[index] for index in sorted(merged)]
 
 

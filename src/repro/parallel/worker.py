@@ -7,20 +7,28 @@ task the worker processes — in module globals.  The work functions are
 module-level so they are picklable under every multiprocessing start method.
 
 Chunks are identified by their submission index; workers echo the index back
-with their results so the parent can merge out-of-order completions into a
-deterministic, submission-ordered report.
+with their results — plus a snapshot of their cache statistics, tagged with
+the process name so the parent can aggregate the final per-worker counters —
+and the parent merges out-of-order completions into a deterministic,
+submission-ordered report.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from typing import Dict, List, Optional, Tuple
 
 from ..core.campaign import InjectionResult, SymbolicCampaign
 from ..core.queries import SearchQuery
-from ..core.search import SearchResultCache
+from ..core.search import CacheStatistics, SearchResultCache
 from ..core.tasks import SearchTask, TaskResult, TaskRunner
 from ..errors.injector import Injection
 from .spec import CampaignSpec, QuerySpec
+
+#: A worker's cache counters at the end of one work unit: (process name,
+#: cumulative statistics).  Counters are monotonic, so the parent keeps the
+#: latest snapshot per process and sums them when the pool drains.
+CacheSnapshot = Tuple[str, CacheStatistics]
 
 #: Per-process worker context, populated by :func:`initialize_worker`.
 _WORKER: Dict[str, object] = {}
@@ -46,22 +54,32 @@ def _context() -> Tuple[SymbolicCampaign, SearchQuery, SearchResultCache]:
         raise RuntimeError("worker used before initialize_worker ran") from None
 
 
+def _cache_snapshot(cache: SearchResultCache) -> CacheSnapshot:
+    stats = cache.statistics
+    return (multiprocessing.current_process().name,
+            CacheStatistics(hits=stats.hits, misses=stats.misses,
+                            stores=stats.stores, evictions=stats.evictions))
+
+
 def run_injection_chunk(payload: Tuple[int, Tuple[Injection, ...]],
-                        ) -> Tuple[int, List[InjectionResult]]:
-    """Run one chunk of injection experiments; returns (chunk index, results)."""
+                        ) -> Tuple[int, List[InjectionResult], CacheSnapshot]:
+    """Run one chunk of injection experiments.
+
+    Returns (chunk index, results, cache snapshot).
+    """
     index, injections = payload
     campaign, query, cache = _context()
     results = [campaign.run_injection(injection, query, result_cache=cache)
                for injection in injections]
-    return index, results
+    return index, results, _cache_snapshot(cache)
 
 
 def run_search_task(payload: Tuple[int, SearchTask],
-                    ) -> Tuple[int, TaskResult]:
+                    ) -> Tuple[int, TaskResult, CacheSnapshot]:
     """Run one search task under its per-task caps (paper Section 6.1)."""
     index, task = payload
     _context()
     runner: TaskRunner = _WORKER["task_runner"]  # type: ignore[assignment]
-    result = runner.run_task(task, _WORKER["query"],
-                             result_cache=_WORKER["cache"])
-    return index, result
+    cache: SearchResultCache = _WORKER["cache"]  # type: ignore[assignment]
+    result = runner.run_task(task, _WORKER["query"], result_cache=cache)
+    return index, result, _cache_snapshot(cache)

@@ -261,6 +261,28 @@ class TestBoundedModelChecker:
         with pytest.raises(ValueError):
             SearchResultCache(max_entries=0)
 
+    def test_result_cache_is_lru_not_fifo(self):
+        """A hit must refresh recency: the hot key survives, the cold one
+        is evicted (pure FIFO would evict the hot key instead)."""
+        cache = SearchResultCache(max_entries=2)
+        cache.store("hot", "result-hot")
+        cache.store("cold", "result-cold")
+        assert cache.get("hot") == "result-hot"   # refresh "hot"
+        cache.store("new", "result-new")          # evicts "cold", not "hot"
+        assert cache.get("hot") == "result-hot"
+        assert cache.get("cold") is None
+        assert cache.get("new") == "result-new"
+        assert cache.statistics.evictions == 1
+
+    def test_cache_statistics_describe_and_accumulate(self):
+        from repro.core import CacheStatistics
+        a = CacheStatistics(hits=3, misses=1, stores=1, evictions=0)
+        b = CacheStatistics(hits=1, misses=1, stores=1, evictions=1)
+        a.accumulate(b)
+        assert (a.hits, a.misses, a.stores, a.evictions) == (4, 2, 2, 1)
+        text = a.describe()
+        assert "hits=4" in text and "hit_rate=66.7%" in text
+
     def test_concretize_option_gives_same_outcomes(self):
         workload = factorial_workload()
         executor = Executor(workload.program, workload.detectors,

@@ -1,0 +1,181 @@
+"""Tests for the copy-on-write state representation and the incremental
+fingerprint (the structural-sharing substrate under the symbolic stack).
+
+The load-bearing property is checked with Hypothesis: after ANY interleaving
+of register writes, memory writes, output appends, copies and forced
+flattens, the incrementally-maintained location hash, output hash and err
+census must equal a from-scratch recomputation, and the state's fingerprint
+must equal the fingerprint of a state rebuilt from the flattened content.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import NUM_REGISTERS
+from repro.isa.values import ERR
+from repro.machine.state import (Fingerprint, MachineState,
+                                 recompute_incremental_state, initial_state,
+                                 state_contains_err)
+
+# ---------------------------------------------------------------------------
+# Hypothesis: incremental bookkeeping == from-scratch recomputation
+# ---------------------------------------------------------------------------
+
+_values = st.one_of(st.integers(min_value=-7, max_value=7), st.just(ERR))
+_outputs = st.one_of(st.integers(min_value=-7, max_value=7),
+                     st.sampled_from(["a", "bc"]), st.just(ERR))
+
+_operations = st.one_of(
+    st.tuples(st.just("reg"), st.integers(0, NUM_REGISTERS - 1), _values),
+    st.tuples(st.just("mem"), st.integers(0, 12), _values),
+    st.tuples(st.just("out"), _outputs, st.none()),
+    st.tuples(st.just("copy"), st.none(), st.none()),
+    st.tuples(st.just("flatten"), st.none(), st.none()),
+)
+
+
+def _rebuild_flat(state: MachineState) -> MachineState:
+    """An independent state holding the same logical content, built flat."""
+    rebuilt = MachineState(pc=state.pc,
+                           registers=list(state.registers.as_tuple()),
+                           memory=state.memory.to_dict(),
+                           input_values=state.input,
+                           output=list(state.output),
+                           constraints=state.constraints)
+    rebuilt.input_pos = state.input_pos
+    rebuilt.status = state.status
+    rebuilt.exception = state.exception
+    return rebuilt
+
+
+def _check_consistent(state: MachineState) -> None:
+    loc_hash, out_hash, err_count = recompute_incremental_state(state)
+    assert state._loc_hash == loc_hash
+    assert state._out_hash == out_hash
+    assert state._err_count == err_count
+    assert state_contains_err(state) == (err_count > 0)
+    rebuilt = _rebuild_flat(state)
+    assert state.fingerprint() == rebuilt.fingerprint()
+    assert hash(state.fingerprint()) == hash(rebuilt.fingerprint())
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_operations, max_size=50))
+def test_incremental_fingerprint_matches_recomputation(operations):
+    state = MachineState(input_values=[1, 2], memory={100: 5, 101: ERR})
+    lineage = [state]
+    for kind, a, b in operations:
+        if kind == "reg":
+            state.write_register(a, b)
+        elif kind == "mem":
+            state.write_memory(a, b)
+        elif kind == "out":
+            state.append_output(a)
+        elif kind == "copy":
+            state = state.copy()
+            lineage.append(state)
+        else:  # forced flatten, independent of the size thresholds
+            state.registers._flatten()
+            state.memory._flatten()
+    for survivor in lineage:
+        _check_consistent(survivor)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 9), _values), min_size=1, max_size=30))
+def test_forked_states_do_not_alias(writes):
+    parent = MachineState(memory={addr: 0 for addr in range(10)})
+    child = parent.copy()
+    for address, value in writes:
+        child.write_memory(address, value)
+        child.write_register(address + 1, value)
+    # The parent still sees the original content through the shared base.
+    for address in range(10):
+        assert parent.read_memory(address) == 0
+    assert parent.registers.as_tuple() == (0,) * NUM_REGISTERS
+    _check_consistent(parent)
+    _check_consistent(child)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint semantics
+# ---------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_equal_content_means_equal_fingerprint(self):
+        a = MachineState(input_values=[3])
+        b = MachineState(input_values=[3])
+        a.write_register(4, 9)
+        b.write_register(4, 9)
+        assert a.fingerprint() == b.fingerprint()
+        assert hash(a.fingerprint()) == hash(b.fingerprint())
+
+    def test_collision_falls_back_to_structural_comparison(self):
+        """Two different states forced onto the same hash must NOT dedup."""
+        a = MachineState()
+        b = MachineState()
+        b.write_register(4, 1)
+        colliding_a = Fingerprint(12345, a)
+        colliding_b = Fingerprint(12345, b)
+        assert hash(colliding_a) == hash(colliding_b)
+        assert colliding_a != colliding_b
+        assert colliding_a == Fingerprint(12345, a.copy())
+
+    def test_fingerprint_stable_under_later_state_mutation(self):
+        """Fingerprints stored in a seen-set must not change when the state
+        is later finished in place by the concretize handoff."""
+        state = MachineState()
+        state.write_register(3, 5)
+        before = state.fingerprint()
+        reference = state.copy().fingerprint()
+        state.write_register(3, 6)      # in-place mutation afterwards
+        state.write_memory(7, 8)
+        state.append_output(1)
+        state.halt()
+        assert before == reference
+        assert hash(before) == hash(reference)
+        assert state.fingerprint() != reference
+
+    def test_fingerprint_distinguishes_output_order(self):
+        a = MachineState()
+        b = MachineState()
+        a.append_output(1)
+        a.append_output(2)
+        b.append_output(2)
+        b.append_output(1)
+        assert a.fingerprint() != b.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Pickling: CoW states flatten into self-contained payloads
+# ---------------------------------------------------------------------------
+
+class TestPickling:
+    def test_roundtrip_preserves_content_and_bookkeeping(self):
+        state = initial_state(input_values=[1, 2], memory={5: 6})
+        state.write_register(4, ERR)
+        state.write_memory(9, 11)
+        state.append_output("x")
+        state.next_input()
+        state.steps = 17
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone.registers.as_tuple() == state.registers.as_tuple()
+        assert clone.memory.to_dict() == state.memory.to_dict()
+        assert clone.output_values() == state.output_values()
+        assert clone.input_pos == state.input_pos
+        assert clone.steps == state.steps
+        assert clone.fingerprint() == state.fingerprint()
+        _check_consistent(clone)
+
+    def test_pickled_fork_is_flattened_and_independent(self):
+        parent = initial_state(memory={1: 2, 3: 4})
+        child = parent.copy()
+        child.write_memory(1, 99)
+        revived = pickle.loads(pickle.dumps(child))
+        # Content round-trips; the revived state shares nothing with parent.
+        assert revived.read_memory(1) == 99
+        revived.write_memory(3, 77)
+        assert parent.read_memory(3) == 4
+        assert child.read_memory(3) == 4

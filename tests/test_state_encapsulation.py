@@ -1,0 +1,54 @@
+"""Repo-wide guard: machine-state storage is only mutated via the write API.
+
+The CoW state keeps its fingerprint hashes and err census consistent inside
+``write_register`` / ``write_memory`` / ``append_output``; a direct poke at
+the underlying storage anywhere else would silently corrupt deduplication.
+``state.registers`` and ``state.memory`` expose read-only views (no
+``__setitem__``), and this grep-style test keeps mutating spellings from
+creeping back into the source tree.
+"""
+
+import re
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: The only module allowed to touch the storage underneath the write API.
+STATE_MODULE = SRC_ROOT / "machine" / "state.py"
+
+#: Mutating spellings on a ``.registers`` / ``.memory`` / ``.output`` /
+#: ``.trace`` attribute: subscript assignment / augmented assignment / del,
+#: and the mutating mapping or list methods.  The output stream matters as
+#: much as the stores: appends must go through ``append_output`` or the
+#: rolling output hash silently desyncs and dedup/cache hits are lost.
+_MUTATION = re.compile(
+    r"\.(registers|memory|output|trace)\[[^\]]*\]\s*(=(?!=)|[-+*/%&|^]=|//=|>>=|<<=)"
+    r"|del\s+\w+\.(registers|memory|output|trace)\["
+    r"|\.(registers|memory|output|trace)\.(update|pop|popitem|clear|setdefault|"
+    r"append|extend|insert|remove|sort|reverse|__setitem__)\s*\(")
+
+
+def test_no_direct_state_mutation_outside_state_module():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path == STATE_MODULE:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if _MUTATION.search(line):
+                offenders.append(f"{path.relative_to(SRC_ROOT)}:{lineno}: "
+                                 f"{line.strip()}")
+    assert not offenders, (
+        "direct register/memory mutation outside machine/state.py "
+        "(use write_register/write_memory):\n" + "\n".join(offenders))
+
+
+def test_views_reject_subscript_assignment():
+    import pytest
+
+    from repro.machine.state import MachineState
+
+    state = MachineState()
+    with pytest.raises(TypeError):
+        state.registers[3] = 1
+    with pytest.raises(TypeError):
+        state.memory[100] = 1
