@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""CI gate: state hot-path microbenchmarks must not regress.
+
+Compares a fresh pytest-benchmark JSON (``pytest
+benchmarks/test_state_hotpath.py --benchmark-json=FRESH.json``) against the
+committed baseline in ``benchmarks/data/state_hotpath_bench.json``.  Each
+benchmark's fresh mean must stay within ``tolerance_factor`` of the recorded
+baseline mean — generous enough for shared-runner noise, tight enough to
+catch the step change a broken CoW fork or fingerprint would cause — and a
+benchmark missing from the fresh run is itself a failure (a silently
+skipped gate is a regressed gate).
+
+Usage::
+
+    python benchmarks/check_state_hotpath.py FRESH.json [--baseline PATH]
+
+Exit status 0 when every benchmark passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "data" \
+    / "state_hotpath_bench.json"
+
+
+def load_fresh_means(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    return {entry["name"]: entry["stats"]["mean"]
+            for entry in report.get("benchmarks", [])}
+
+
+def check(fresh_path: str, baseline_path: str) -> int:
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)["microbench_baseline"]
+    tolerance = float(baseline["tolerance_factor"])
+    fresh = load_fresh_means(fresh_path)
+
+    failures = []
+    width = max(len(name) for name in baseline["benchmarks"])
+    print(f"state hot-path benchmark gate (tolerance {tolerance:g}x):")
+    for name, record in sorted(baseline["benchmarks"].items()):
+        allowed = float(record["mean_seconds"]) * tolerance
+        mean = fresh.get(name)
+        if mean is None:
+            print(f"  {name:<{width}}  MISSING from the fresh run")
+            failures.append(f"{name}: not measured")
+            continue
+        ratio = mean / float(record["mean_seconds"])
+        verdict = "ok" if mean <= allowed else "REGRESSED"
+        print(f"  {name:<{width}}  {mean * 1e6:9.3f}us  "
+              f"(baseline {float(record['mean_seconds']) * 1e6:.3f}us, "
+              f"{ratio:5.2f}x, allowed <= {allowed * 1e6:.3f}us)  {verdict}")
+        if mean > allowed:
+            failures.append(f"{name}: {mean:.3e}s vs allowed {allowed:.3e}s")
+
+    if failures:
+        print("\nFAIL: state hot-path timings regressed beyond tolerance:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all state hot-path benchmarks within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="pytest-benchmark JSON of this run")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed baseline JSON")
+    args = parser.parse_args(argv)
+    return check(args.fresh, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

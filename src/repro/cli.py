@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 
 from .analysis import campaign_outcome_summary, format_witnesses
 from .concrete import ConcreteCampaign, printed_value_labeler
-from .core import SearchResultCache, SymbolicCampaign, witnesses_from_campaign
+from .core import SymbolicCampaign, witnesses_from_campaign
 from .core.campaign import SerialExecutionStrategy
 from .detectors import DetectorSet, EMPTY_DETECTORS
 from .errors import STANDARD_ERROR_CLASSES, error_class
@@ -45,6 +45,28 @@ def _positive_int(text: str) -> int:
             from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be an integer, got {text!r}") \
+            from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be a number, got {text!r}") \
+            from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -132,8 +154,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="outcome to search for")
     analyze.add_argument("--expected", type=int, default=None,
                          help="expected final printed value (wrong-final-value query)")
-    analyze.add_argument("--max-injections", type=int, default=None,
-                         help="cap on the number of injections swept")
+    analyze.add_argument("--max-injections", type=_positive_int, default=None,
+                         help="cap on the number of injections swept "
+                              "(must be >= 1; omit it to sweep everything)")
     analyze.add_argument("--max-solutions", type=int, default=10,
                          help="per-injection cap on reported errors")
     analyze.add_argument("--max-states", type=int, default=20_000,
@@ -142,21 +165,59 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=("labels", "targets", "all", "exception_only"))
     analyze.add_argument("--witnesses", type=int, default=3,
                          help="number of witnesses to print")
-    analyze.add_argument("--workers", type=_positive_int, default=1,
+    analyze.add_argument("--backend", default=None,
+                         choices=("serial", "pool", "distributed"),
+                         help="execution backend (default: serial, or pool "
+                              "when --workers > 1)")
+    analyze.add_argument("--workers", type=_nonnegative_int, default=1,
                          help="worker processes for the injection sweep "
-                              "(1 = serial, the paper's single-host run)")
+                              "(1 = serial, the paper's single-host run; "
+                              "0 = distributed backend only, rely on "
+                              "external workers attached to --queue)")
     analyze.add_argument("--chunk-size", type=_positive_int, default=None,
-                         help="injections per parallel work unit "
+                         help="injections per work unit "
                               "(default: a few chunks per worker)")
+    analyze.add_argument("--queue", default=None,
+                         help="broker directory for the distributed backend "
+                              "(default: a private temporary directory)")
+    analyze.add_argument("--shared-cache", default=None,
+                         help="path to a cross-process search-result cache "
+                              "database shared by all workers")
+    analyze.add_argument("--checkpoint", default=None,
+                         help="journal completed injections to this file so "
+                              "a killed campaign can be resumed")
+    analyze.add_argument("--resume", action="store_true",
+                         help="skip injections already completed in the "
+                              "--checkpoint journal")
     analyze.add_argument("--progress", action="store_true",
                          help="report sweep progress on stderr")
 
     concrete = subparsers.add_parser(
         "concrete", help="concrete (SimpleScalar-style) fault-injection campaign")
     _add_common_arguments(concrete)
-    concrete.add_argument("--max-injections", type=int, default=None)
+    concrete.add_argument("--max-injections", type=_positive_int, default=None,
+                          help="cap on the number of injections swept "
+                               "(must be >= 1; omit it to sweep everything)")
     concrete.add_argument("--expected-values", type=int, nargs="*", default=None,
                           help="printed values that get their own outcome row")
+
+    worker = subparsers.add_parser(
+        "worker", help="standalone campaign worker: drain tasks from a "
+                       "distributed queue directory")
+    worker.add_argument("--queue", required=True,
+                        help="broker directory shared with the coordinator")
+    worker.add_argument("--poll-interval", type=_positive_float, default=0.1,
+                        help="seconds between queue polls when idle")
+    worker.add_argument("--max-idle", type=_positive_float, default=None,
+                        help="exit after this many idle seconds "
+                             "(default: wait until the queue drains)")
+    worker.add_argument("--manifest-timeout", type=_positive_float, default=120.0,
+                        help="seconds to wait for the campaign manifest")
+    worker.add_argument("--lease-seconds", type=_positive_float, default=60.0,
+                        help="claim lease duration before a task is presumed "
+                             "orphaned")
+    worker.add_argument("--progress", action="store_true",
+                        help="report completed tasks on stderr")
 
     return parser
 
@@ -174,6 +235,73 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0 if state.status.value == "halted" else 1
 
 
+def _resolve_backend(args: argparse.Namespace) -> str:
+    """Pick the execution backend, validating flag combinations."""
+    backend = args.backend
+    if backend is None:
+        backend = "pool" if args.workers > 1 else "serial"
+    if backend == "serial" and args.workers > 1:
+        raise SystemExit("--backend serial cannot use --workers > 1; pick "
+                         "--backend pool or --backend distributed")
+    if args.workers == 0 and backend != "distributed":
+        raise SystemExit("--workers 0 (external workers only) requires "
+                         "--backend distributed")
+    if backend == "distributed" and args.workers == 0 and args.queue is None:
+        raise SystemExit("--workers 0 needs --queue DIR: external workers "
+                         "must be able to find the task queue")
+    if backend != "distributed" and args.queue is not None:
+        raise SystemExit("--queue only applies to --backend distributed")
+    if backend == "serial" and args.chunk_size is not None:
+        raise SystemExit("--chunk-size only applies to --backend pool or "
+                         "distributed (the serial sweep is not chunked)")
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume needs --checkpoint PATH (the journal to "
+                         "resume from)")
+    return backend
+
+
+def _build_analyze_strategy(args: argparse.Namespace, backend: str,
+                            golden, expected):
+    """Build the execution strategy for the chosen backend.
+
+    Returns ``(strategy, cache_statistics_fn)`` — the statistics getter is
+    read after the run, once the backend has aggregated its counters.
+    """
+    from .parallel import CacheSpec, QuerySpec
+
+    cache_spec = (CacheSpec.shared(args.shared_cache)
+                  if args.shared_cache else None)
+    query_spec = QuerySpec.predefined(args.query, golden_output=golden,
+                                      expected_value=expected)
+    if backend == "serial":
+        cache = (cache_spec or CacheSpec()).build()
+        strategy = SerialExecutionStrategy(result_cache=cache)
+        statistics = lambda: cache.statistics  # noqa: E731
+    elif backend == "pool":
+        from .parallel import ParallelConfig, ParallelExecutionStrategy
+        strategy = ParallelExecutionStrategy(
+            query_spec, ParallelConfig(workers=args.workers,
+                                       chunk_size=args.chunk_size,
+                                       cache=cache_spec))
+        statistics = lambda: strategy.cache_statistics  # noqa: E731
+    else:
+        from .distributed import (DistributedConfig,
+                                  DistributedExecutionStrategy)
+        strategy = DistributedExecutionStrategy(
+            query_spec, DistributedConfig(workers=args.workers,
+                                          chunk_size=args.chunk_size,
+                                          queue_dir=args.queue,
+                                          cache=cache_spec))
+        statistics = lambda: strategy.cache_statistics  # noqa: E731
+
+    if args.checkpoint is not None:
+        from .distributed import CheckpointingStrategy
+        checkpointing = CheckpointingStrategy(strategy, args.checkpoint,
+                                              resume=args.resume)
+        return checkpointing, statistics
+    return strategy, statistics
+
+
 def _command_analyze(args: argparse.Namespace) -> int:
     workload = _load_workload(args)
     golden = workload.golden_output()
@@ -183,6 +311,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
         expected = printed[-1] if printed else None
     query = generate_query(args.query, golden_output=golden,
                            expected_value=expected)
+    backend = _resolve_backend(args)
 
     campaign = SymbolicCampaign(
         workload.program,
@@ -204,6 +333,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
     print(f"error class    : {args.error_class}")
     print(f"query          : {query.description}")
     print(f"injections     : {len(injections)}")
+    if backend != "serial":
+        print(f"backend        : {backend}")
     if args.workers > 1:
         print(f"workers        : {args.workers}")
 
@@ -214,24 +345,17 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
     progress = report_progress if args.progress else None
 
-    cache_statistics = None
-    if args.workers > 1:
-        from .parallel import ParallelConfig, ParallelExecutionStrategy, QuerySpec
-        query_spec = QuerySpec.predefined(args.query, golden_output=golden,
-                                          expected_value=expected)
-        strategy = ParallelExecutionStrategy(
-            query_spec, ParallelConfig(workers=args.workers,
-                                       chunk_size=args.chunk_size))
-        result = campaign.run(query, injections=injections,
-                              progress=progress, strategy=strategy)
-        cache_statistics = strategy.cache_statistics
-    else:
-        # Thread one result cache through the serial sweep so convergent
-        # injection points are searched only once (workers keep their own).
-        cache = SearchResultCache()
-        result = campaign.run(query, injections=injections, progress=progress,
-                              strategy=SerialExecutionStrategy(result_cache=cache))
-        cache_statistics = cache.statistics
+    strategy, cache_statistics_fn = _build_analyze_strategy(
+        args, backend, golden, expected)
+    result = campaign.run(query, injections=injections, progress=progress,
+                          strategy=strategy)
+    if args.checkpoint is not None:
+        skipped = getattr(strategy, "skipped", 0)
+        print(f"checkpoint: {args.checkpoint}"
+              + (f" ({skipped} injections resumed from the journal)"
+                 if args.resume else ""),
+              file=sys.stderr)
+    cache_statistics = cache_statistics_fn()
     if args.progress and cache_statistics is not None:
         print(f"search-result cache: {cache_statistics.describe()}",
               file=sys.stderr)
@@ -280,6 +404,28 @@ def _command_concrete(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    from .distributed import WorkerConfig, run_worker
+
+    config = WorkerConfig(queue_dir=args.queue,
+                          poll_interval=args.poll_interval,
+                          max_idle_seconds=args.max_idle,
+                          manifest_timeout=args.manifest_timeout,
+                          lease_seconds=args.lease_seconds)
+
+    def report_task(index: int, injections: int) -> None:
+        if args.progress:
+            print(f"  task {index}: {injections} injections done",
+                  file=sys.stderr)
+
+    try:
+        executed = run_worker(config, on_task=report_task)
+    except TimeoutError as exc:
+        raise SystemExit(f"worker gave up: {exc}") from exc
+    print(f"worker drained: {executed} tasks executed")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
@@ -288,6 +434,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_analyze(args)
     if args.command == "concrete":
         return _command_concrete(args)
+    if args.command == "worker":
+        return _command_worker(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

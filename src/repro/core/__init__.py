@@ -6,7 +6,9 @@ from .queries import (SearchQuery, crashed, detected, halted_normally, hung,
                       output_differs, output_equals, printed_value,
                       printed_value_other_than, undetected_failure)
 from .search import (BoundedModelChecker, CacheStatistics, SearchResult,
-                     SearchResultCache, SearchStatistics, Solution)
+                     SearchResultCache, SearchStatistics, Solution,
+                     executor_digest, stable_state_digest)
+from .shared_cache import SharedSearchResultCache
 from .campaign import (CampaignResult, ExecutionStrategy, InjectionResult,
                        SerialExecutionStrategy, SymbolicCampaign)
 from .tasks import (SearchTask, SerialTaskStrategy, TaskCampaignReport,
@@ -23,7 +25,8 @@ __all__ = [
     "output_differs", "output_equals", "printed_value",
     "printed_value_other_than", "undetected_failure",
     "BoundedModelChecker", "CacheStatistics", "SearchResult",
-    "SearchResultCache", "SearchStatistics", "Solution",
+    "SearchResultCache", "SearchStatistics", "SharedSearchResultCache",
+    "Solution", "executor_digest", "stable_state_digest",
     "CampaignResult", "ExecutionStrategy", "InjectionResult",
     "SerialExecutionStrategy", "SymbolicCampaign",
     "SearchTask", "SerialTaskStrategy", "TaskCampaignReport",

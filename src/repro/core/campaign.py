@@ -38,6 +38,14 @@ from .search import (BoundedModelChecker, SearchResult, SearchResultCache,
 #: Callback invoked after each injection: (done, total, last result).
 ProgressCallback = Callable[[int, int, "InjectionResult"], None]
 
+#: Callback invoked once per completed injection experiment, as soon as the
+#: executing strategy learns the result (for the pool and distributed
+#: backends that is when the containing chunk completes).  Unlike the
+#: ProgressCallback — which the pool backends only call with the *last*
+#: result of a chunk — the sink sees every result exactly once, which is
+#: what checkpoint journaling needs.
+ResultSink = Callable[["Injection", "InjectionResult"], None]
+
 
 @dataclass
 class InjectionResult:
@@ -121,6 +129,15 @@ class ExecutionStrategy:
 
     name: str = "abstract"
 
+    #: Optional per-result hook (see :data:`ResultSink`).  Strategies must
+    #: call :meth:`emit_result` for every completed injection; wrappers such
+    #: as the checkpointing strategy install a sink here.
+    result_sink: Optional[ResultSink] = None
+
+    def emit_result(self, injection: Injection, result: InjectionResult) -> None:
+        if self.result_sink is not None:
+            self.result_sink(injection, result)
+
     def run(self, campaign: "SymbolicCampaign", injections: Sequence[Injection],
             query: SearchQuery,
             progress: Optional[ProgressCallback] = None) -> List[InjectionResult]:
@@ -144,6 +161,7 @@ class SerialExecutionStrategy(ExecutionStrategy):
             result = campaign.run_injection(injection, query,
                                             result_cache=self.result_cache)
             results.append(result)
+            self.emit_result(injection, result)
             if progress is not None:
                 progress(index + 1, len(injections), result)
         return results

@@ -1,0 +1,113 @@
+"""A search-result cache shared across processes (ROADMAP open item).
+
+:class:`~repro.core.search.SearchResultCache` memoises completed searches,
+but each worker process keeps its own instance, so convergent injection
+points claimed by *different* workers are searched once per worker.
+:class:`SharedSearchResultCache` closes that gap with a sqlite-backed store
+on the filesystem: every pool worker, every distributed worker and the
+serial sweep can open the same database file and reuse each other's
+completed searches.
+
+Keys are content digests rather than the in-memory cache's identity-based
+tuples: the executor is represented by a digest of its program, detectors
+and config (:func:`~repro.core.search.executor_digest`), the injected state
+by a canonical flattened digest (:func:`~repro.core.search.
+stable_state_digest`), and the query by its description — the same contract
+the in-memory cache documents.  Values are pickled
+:class:`~repro.core.search.SearchResult` objects; pickling flattens machine
+states, so a result stored by one process is self-contained for every other.
+
+Concurrency: sqlite serialises writers; readers use WAL mode where the
+filesystem supports it and fall back silently where it does not.  Two
+workers racing to store the same key simply overwrite each other with the
+identical result (searches are pure functions of the key), so no locking
+beyond sqlite's own is needed.  Hit/miss counters are tracked per process —
+exactly like the per-worker caches — and aggregate through the existing
+``CacheStatistics.accumulate`` / ``--progress`` plumbing.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+from typing import Dict, Optional, Tuple
+
+from ..machine.executor import Executor
+from ..machine.state import MachineState
+from .queries import SearchQuery
+from .search import (CacheStatistics, SearchResult, executor_digest,
+                     stable_state_digest)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS search_results (
+    key BLOB PRIMARY KEY,
+    result BLOB NOT NULL
+)
+"""
+
+
+class SharedSearchResultCache:
+    """Cross-process search-result cache backed by a sqlite database file.
+
+    Drop-in for :class:`SearchResultCache` wherever a ``result_cache`` is
+    accepted (``make_key`` / ``get`` / ``store`` / ``statistics`` /
+    ``__len__``): :class:`~repro.core.search.BoundedModelChecker` uses it
+    unchanged.
+    """
+
+    def __init__(self, path: str, busy_timeout_seconds: float = 30.0) -> None:
+        self.path = path
+        self._connection = sqlite3.connect(path, timeout=busy_timeout_seconds)
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.DatabaseError:  # pragma: no cover - filesystem-specific
+            pass  # e.g. network filesystems; the rollback journal still works
+        self._connection.execute(_SCHEMA)
+        self._connection.commit()
+        self.statistics = CacheStatistics()
+        # Executor digests are content hashes of immutable configuration;
+        # memoise them by identity so the per-lookup cost is one state digest.
+        self._executor_digests: Dict[int, Tuple[Executor, bytes]] = {}
+
+    # ------------------------------------------------------------------- keys
+
+    def make_key(self, executor: Executor, state: MachineState,
+                 query: SearchQuery, caps: Tuple) -> bytes:
+        memo = self._executor_digests.get(id(executor))
+        if memo is None or memo[0] is not executor:
+            # The memo holds a strong reference, so the id cannot be recycled
+            # while the entry is alive.
+            memo = (executor, executor_digest(executor))
+            self._executor_digests[id(executor)] = memo
+        return pickle.dumps(
+            (memo[1], stable_state_digest(state), state.steps,
+             query.description, caps),
+            protocol=4)
+
+    # ---------------------------------------------------------------- queries
+
+    def get(self, key: bytes) -> Optional[SearchResult]:
+        row = self._connection.execute(
+            "SELECT result FROM search_results WHERE key = ?",
+            (key,)).fetchone()
+        if row is None:
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        return pickle.loads(row[0])
+
+    def store(self, key: bytes, result: SearchResult) -> None:
+        payload = pickle.dumps(result, protocol=4)
+        self._connection.execute(
+            "INSERT OR REPLACE INTO search_results (key, result) VALUES (?, ?)",
+            (key, payload))
+        self._connection.commit()
+        self.statistics.stores += 1
+
+    def __len__(self) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM search_results").fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        self._connection.close()

@@ -142,7 +142,7 @@ def decompose_by_code_section(injections: Sequence[Injection],
     tasks independent and roughly equal in size.
     """
     if num_tasks <= 0:
-        raise ValueError("num_tasks must be positive")
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
     ordered = sorted(injections, key=lambda injection: (injection.breakpoint_pc,
                                                         repr(injection.target)))
     num_tasks = min(num_tasks, max(1, len(ordered)))
@@ -182,10 +182,12 @@ def chunk_injections(injections: Sequence[Injection],
     larger chunks amortise task-dispatch overhead.
     """
     if chunk_size <= 0:
-        raise ValueError("chunk_size must be positive")
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     ordered = list(injections)
-    return [tuple(ordered[start:start + chunk_size])
-            for start in range(0, len(ordered), chunk_size)]
+    chunks = [tuple(ordered[start:start + chunk_size])
+              for start in range(0, len(ordered), chunk_size)]
+    assert all(chunks), "chunking must never produce an empty chunk"
+    return chunks
 
 
 def decompose_by_chunk(injections: Sequence[Injection],

@@ -1,0 +1,39 @@
+"""Distributed campaign execution: the paper's cluster runs, for real.
+
+Where :mod:`repro.parallel` shards a sweep across a single host's worker
+pool, this package distributes it through a durable broker to standalone
+``repro worker`` processes — on the same machine or on any machine sharing
+the queue directory — with checkpoint/resume riding on the same journal
+layer.
+
+Public surface:
+
+* :class:`FilesystemBroker` / :class:`Broker` / :class:`CampaignManifest` —
+  the durable task queue and the contract a socket/redis broker would
+  implement;
+* :class:`DistributedConfig` / :class:`DistributedExecutionStrategy` /
+  :func:`run_campaign_distributed` — the coordinator, plugging into the
+  ``ExecutionStrategy`` seam of :class:`~repro.core.campaign.
+  SymbolicCampaign`;
+* :class:`WorkerConfig` / :func:`run_worker` — the standalone worker loop
+  behind ``repro worker --queue DIR``;
+* :class:`CheckpointJournal` / :class:`CheckpointingStrategy` — campaign
+  checkpoint/resume for any backend;
+* :class:`RecordJournal` — the crash-tolerant append-only log underneath.
+"""
+
+from .broker import Broker, CampaignManifest, ClaimedTask, FilesystemBroker
+from .checkpoint import (CheckpointJournal, CheckpointingStrategy,
+                         campaign_header, injection_key)
+from .journal import RecordJournal
+from .strategy import (DistributedConfig, DistributedExecutionStrategy,
+                       run_campaign_distributed)
+from .worker import WorkerConfig, run_worker
+
+__all__ = [
+    "Broker", "CampaignManifest", "CheckpointJournal",
+    "CheckpointingStrategy", "ClaimedTask", "DistributedConfig",
+    "DistributedExecutionStrategy", "FilesystemBroker", "RecordJournal",
+    "WorkerConfig", "campaign_header", "injection_key",
+    "run_campaign_distributed", "run_worker",
+]

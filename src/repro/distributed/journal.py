@@ -1,0 +1,101 @@
+"""Append-only record journals (the durability layer of the backend).
+
+Both halves of the distributed subsystem persist through the same tiny
+abstraction: a :class:`RecordJournal` is a file of consecutively pickled
+records, appended with a flush+fsync per record so that a killed process
+loses at most the record it was writing.  Loading tolerates a truncated or
+garbled tail (the signature of a crash mid-append) by returning every record
+up to the corruption — which is exactly the resume semantics checkpointing
+needs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import IO, Iterator, List, Optional
+
+
+class RecordJournal:
+    """A crash-tolerant append-only log of pickled records."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[bytes]] = None
+
+    # --------------------------------------------------------------- appending
+
+    def append(self, record: object) -> None:
+        """Append one record, durably (flushed and fsynced).
+
+        The first append truncates any corrupt tail left by an earlier kill:
+        records written after garbage would be unreachable forever (loading
+        stops at the corruption), so the journal must resume appending at
+        the last intact offset to make durable progress across repeated
+        kill/resume cycles.
+        """
+        if self._handle is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            intact = self._intact_length()
+            self._handle = open(self.path, "ab")
+            if self._handle.tell() > intact:
+                self._handle.truncate(intact)
+                self._handle.seek(intact)
+        pickle.dump(record, self._handle, protocol=4)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _intact_length(self) -> int:
+        """Byte offset just past the last intact record."""
+        if not os.path.exists(self.path):
+            return 0
+        offset = 0
+        with open(self.path, "rb") as handle:
+            while True:
+                try:
+                    pickle.load(handle)
+                except (EOFError, pickle.UnpicklingError, AttributeError,
+                        ValueError, IndexError):
+                    return offset
+                offset = handle.tell()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RecordJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- loading
+
+    def records(self) -> Iterator[object]:
+        """Yield every intact record; stop silently at a truncated tail."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as handle:
+            while True:
+                try:
+                    yield pickle.load(handle)
+                except EOFError:
+                    return
+                except (pickle.UnpicklingError, AttributeError, ValueError,
+                        IndexError):
+                    # A record cut off mid-write by a kill: everything before
+                    # it is intact, nothing after it can be trusted.
+                    return
+
+    def load(self) -> List[object]:
+        return list(self.records())
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def delete(self) -> None:
+        self.close()
+        if os.path.exists(self.path):
+            os.remove(self.path)

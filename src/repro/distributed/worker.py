@@ -1,0 +1,137 @@
+"""The standalone campaign worker (``repro worker --queue DIR``).
+
+A worker is the distributed counterpart of one pool process: it loads the
+campaign manifest from the broker, rebuilds the campaign, query and cache
+once with the existing :mod:`repro.parallel.worker` machinery, then claims
+and executes injection chunks until the queue is drained.  Between
+injections it renews the lease on its claim so the coordinator can tell a
+slow worker from a dead one.
+
+Workers are stateless and interchangeable: any number can be pointed at the
+same queue directory, from any machine sharing it, started before or after
+the coordinator.  Exit conditions: the queue is drained (normal), or
+nothing has been claimable for ``max_idle_seconds`` (stale queue guard).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from ..parallel.worker import initialize_worker, run_injection_chunk
+from .broker import ClaimedTask, FilesystemBroker
+
+
+@dataclass
+class WorkerConfig:
+    """Tunables of one standalone worker."""
+
+    queue_dir: str
+    poll_interval: float = 0.1
+    #: Give up when nothing was claimable for this long (None = wait forever).
+    max_idle_seconds: Optional[float] = None
+    #: Wait at most this long for the coordinator's manifest to appear.
+    manifest_timeout: Optional[float] = 120.0
+    lease_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be positive, got {self.poll_interval}")
+
+
+@contextlib.contextmanager
+def _lease_renewal(broker: FilesystemBroker, claim: ClaimedTask,
+                   lease_seconds: float) -> Iterator[None]:
+    """Refresh the claim's lease from a background thread while it runs.
+
+    A single symbolic search can outlast the lease (there is no
+    per-injection wall-clock cap by default), and the executing thread
+    cannot renew mid-search — so a daemon thread touches the claim every
+    third of the lease, keeping slow-but-alive workers distinguishable from
+    dead ones and avoiding duplicate chunk execution.
+    """
+    stop = threading.Event()
+
+    def renew_loop() -> None:
+        while not stop.wait(lease_seconds / 3.0):
+            broker.renew_lease(claim)
+
+    thread = threading.Thread(target=renew_loop, daemon=True,
+                              name="lease-renewal")
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join()
+
+
+def run_worker(config: WorkerConfig,
+               on_task: Optional[Callable[[int, int], None]] = None) -> int:
+    """Drain tasks from the queue; return the number of chunks executed.
+
+    *on_task* is called as ``on_task(index, injections)`` after each
+    completed chunk (the CLI uses it for progress reporting).
+    """
+    # Standalone workers are each their own MainProcess; give the process a
+    # unique name so per-worker cache snapshots aggregate correctly (the
+    # pool's snapshot machinery keys counters by process name).
+    multiprocessing.current_process().name = f"repro-worker-{os.getpid()}"
+    broker = FilesystemBroker(config.queue_dir,
+                              lease_seconds=config.lease_seconds)
+    manifest = broker.load_manifest(timeout=config.manifest_timeout,
+                                    poll_interval=config.poll_interval)
+    initialize_worker(manifest.campaign_spec, manifest.query_spec,
+                      cache_spec=manifest.cache_spec)
+    def result_is_ours(payload: object) -> bool:
+        return payload and payload[0] == manifest.campaign_id
+
+    executed = 0
+    idle_since = time.monotonic()
+    while True:
+        claim = broker.claim_next(result_valid=result_is_ours)
+        if claim is None:
+            if broker.is_drained():
+                break
+            # Recovery is decentralised: idle workers also return orphaned
+            # claims to the queue, so the run finishes even if the
+            # coordinator (the other requeuer) is gone.
+            broker.requeue_expired()
+            if (config.max_idle_seconds is not None
+                    and time.monotonic() - idle_since > config.max_idle_seconds):
+                break
+            time.sleep(config.poll_interval)
+            continue
+        idle_since = time.monotonic()
+        # Revalidate the manifest before executing: a coordinator may have
+        # reset this queue directory and published a new campaign while we
+        # idled (e.g. the previous coordinator was killed).  Executing the
+        # claim under the stale context would produce results the new
+        # coordinator rejects, re-enqueueing the task forever.
+        try:
+            current = broker.load_manifest(timeout=0,
+                                           poll_interval=config.poll_interval)
+        except TimeoutError:
+            break  # the queue was dissolved under us
+        if current.campaign_id != manifest.campaign_id:
+            manifest = current
+            initialize_worker(manifest.campaign_spec, manifest.query_spec,
+                              cache_spec=manifest.cache_spec)
+        with _lease_renewal(broker, claim, config.lease_seconds):
+            index, results, snapshot = run_injection_chunk(
+                (claim.index, claim.payload))
+        # Results are tagged with the manifest's campaign id so a
+        # coordinator reusing this queue directory can reject stragglers
+        # from a previous campaign.
+        broker.complete(claim, (manifest.campaign_id, index, results,
+                                snapshot))
+        executed += 1
+        if on_task is not None:
+            on_task(index, len(results))
+    return executed

@@ -31,12 +31,12 @@ from ..core.campaign import (CampaignResult, ExecutionStrategy,
                              InjectionResult, ProgressCallback,
                              SerialExecutionStrategy, SymbolicCampaign)
 from ..core.queries import SearchQuery
-from ..core.search import CacheStatistics, SearchResultCache
+from ..core.search import CacheStatistics
 from ..core.tasks import (SearchTask, SerialTaskStrategy, TaskCampaignReport,
                           TaskExecutionStrategy, TaskResult, TaskRunner,
                           chunk_injections, default_chunk_size)
 from ..errors.injector import Injection
-from .spec import CampaignSpec, QuerySpec
+from .spec import CacheSpec, CampaignSpec, QuerySpec
 from .worker import initialize_worker, run_injection_chunk, run_search_task
 
 
@@ -52,11 +52,15 @@ class ParallelConfig:
             enough to amortise dispatch overhead).
         start_method: multiprocessing start method (``"fork"``, ``"spawn"``,
             ``"forkserver"``); ``None`` uses the platform default.
+        cache: recipe for each worker's search-result cache; ``None`` keeps
+            the classic per-process cache, ``CacheSpec.shared(path)`` makes
+            every worker reuse one on-disk cache.
     """
 
     workers: int = 2
     chunk_size: Optional[int] = None
     start_method: Optional[str] = None
+    cache: Optional[CacheSpec] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -126,9 +130,11 @@ class ParallelExecutionStrategy(ExecutionStrategy):
         self.cache_statistics = None  # no stale counters if this run fails
         injections = list(injections)
         if self.config.workers <= 1 or len(injections) <= 1:
-            cache = SearchResultCache()
-            results = SerialExecutionStrategy(result_cache=cache).run(
-                campaign, injections, query, progress=progress)
+            cache = (self.config.cache or CacheSpec()).build()
+            serial = SerialExecutionStrategy(result_cache=cache)
+            serial.result_sink = self.result_sink
+            results = serial.run(campaign, injections, query,
+                                 progress=progress)
             self.cache_statistics = cache.statistics
             return results
 
@@ -142,12 +148,15 @@ class ParallelExecutionStrategy(ExecutionStrategy):
         with self.config.context().Pool(
                 processes=min(self.config.workers, len(chunks)),
                 initializer=initialize_worker,
-                initargs=(spec, self.query_spec)) as pool:
+                initargs=(spec, self.query_spec, 10, None,
+                          self.config.cache)) as pool:
             for index, results, snapshot in pool.imap_unordered(
                     run_injection_chunk, payloads):
                 merged[index] = results
                 worker_name, stats = snapshot
                 worker_stats[worker_name] = stats  # counters are monotonic
+                for injection, result in zip(chunks[index], results):
+                    self.emit_result(injection, result)
                 done_injections += len(results)
                 if progress is not None and results:
                     progress(done_injections, len(injections), results[-1])
@@ -176,7 +185,7 @@ class ParallelTaskStrategy(TaskExecutionStrategy):
         self.cache_statistics = None
         tasks = list(tasks)
         if self.config.workers <= 1 or len(tasks) <= 1:
-            cache = SearchResultCache()
+            cache = (self.config.cache or CacheSpec()).build()
             results = SerialTaskStrategy(result_cache=cache).run(
                 runner, tasks, query, progress=progress)
             self.cache_statistics = cache.statistics
@@ -191,7 +200,8 @@ class ParallelTaskStrategy(TaskExecutionStrategy):
                 initializer=initialize_worker,
                 initargs=(spec, self.query_spec,
                           runner.max_errors_per_task,
-                          runner.wall_clock_per_task)) as pool:
+                          runner.wall_clock_per_task,
+                          self.config.cache)) as pool:
             for index, result, snapshot in pool.imap_unordered(run_search_task,
                                                                payloads):
                 merged[index] = result

@@ -24,10 +24,43 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..core.campaign import SymbolicCampaign
 from ..core.queries import SearchQuery
+from ..core.search import SearchResultCache
 from ..detectors import DetectorSet, EMPTY_DETECTORS
 from ..errors.models import ErrorClass, RegisterFileError
 from ..isa.program import Program
 from ..machine.executor import ExecutionConfig
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """A picklable recipe for a worker's search-result cache.
+
+    ``kind="local"`` builds the classic per-process
+    :class:`~repro.core.search.SearchResultCache`; ``kind="shared"`` opens
+    the cross-process :class:`~repro.core.shared_cache.
+    SharedSearchResultCache` at *path*, so every worker of a pool or
+    distributed run reuses each other's completed searches.
+    """
+
+    kind: str = "local"
+    path: Optional[str] = None
+    max_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("local", "shared"):
+            raise ValueError(f"unknown cache kind {self.kind!r}")
+        if self.kind == "shared" and not self.path:
+            raise ValueError("a shared cache needs a database path")
+
+    @classmethod
+    def shared(cls, path: str) -> "CacheSpec":
+        return cls(kind="shared", path=path)
+
+    def build(self):
+        if self.kind == "shared":
+            from ..core.shared_cache import SharedSearchResultCache
+            return SharedSearchResultCache(self.path)
+        return SearchResultCache(max_entries=self.max_entries)
 
 
 @dataclass(frozen=True)

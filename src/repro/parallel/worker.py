@@ -23,7 +23,7 @@ from ..core.queries import SearchQuery
 from ..core.search import CacheStatistics, SearchResultCache
 from ..core.tasks import SearchTask, TaskResult, TaskRunner
 from ..errors.injector import Injection
-from .spec import CampaignSpec, QuerySpec
+from .spec import CacheSpec, CampaignSpec, QuerySpec
 
 #: A worker's cache counters at the end of one work unit: (process name,
 #: cumulative statistics).  Counters are monotonic, so the parent keeps the
@@ -36,12 +36,18 @@ _WORKER: Dict[str, object] = {}
 
 def initialize_worker(campaign_spec: CampaignSpec, query_spec: QuerySpec,
                       max_errors_per_task: int = 10,
-                      wall_clock_per_task: Optional[float] = None) -> None:
-    """Pool initializer: rebuild the campaign, query and task runner once."""
+                      wall_clock_per_task: Optional[float] = None,
+                      cache_spec: Optional[CacheSpec] = None) -> None:
+    """Pool initializer: rebuild the campaign, query and cache once.
+
+    *cache_spec* selects the worker's search-result cache: the default
+    per-process LRU, or a shared on-disk cache every worker opens (each
+    process gets its own connection — sqlite handles do not survive fork).
+    """
     campaign = campaign_spec.build()
     _WORKER["campaign"] = campaign
     _WORKER["query"] = query_spec.build()
-    _WORKER["cache"] = SearchResultCache()
+    _WORKER["cache"] = (cache_spec or CacheSpec()).build()
     _WORKER["task_runner"] = TaskRunner(
         campaign, max_errors_per_task=max_errors_per_task,
         wall_clock_per_task=wall_clock_per_task)

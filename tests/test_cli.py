@@ -93,3 +93,107 @@ class TestConcreteCommand:
         out = capsys.readouterr().out
         assert "Program outcome distribution" in out
         assert "total faults" in out
+
+
+def analyze_output(capsys, *arguments):
+    code = main(["analyze", "--workload", "factorial", "--query", "err-output",
+                 "--max-injections", "6", "--max-states", "5000", *arguments])
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def normalized(output):
+    """Strip timing and backend-identity lines (the CI smoke's projection)."""
+    return [line for line in output.splitlines()
+            if "elapsed seconds" not in line
+            and not line.startswith(("workers", "backend"))]
+
+
+class TestAnalyzeValidation:
+    def test_max_injections_zero_is_rejected_with_clear_message(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--workload", "factorial", "--max-injections", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_max_injections_zero_rejected_for_concrete_too(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["concrete", "--workload", "factorial", "--max-injections", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_chunk_size_zero_is_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--workload", "factorial", "--chunk-size", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_chunk_size_larger_than_sweep_runs_one_chunk(self, capsys):
+        """An oversized --chunk-size must degrade to a single full chunk,
+        never to empty chunks (regression for the chunking edge case)."""
+        out = analyze_output(capsys, "--workers", "2", "--chunk-size", "999")
+        assert "injections run             : 6" in out
+
+    def test_backend_serial_with_workers_conflicts(self):
+        with pytest.raises(SystemExit, match="serial"):
+            main(["analyze", "--workload", "factorial", "--backend", "serial",
+                  "--workers", "2"])
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="checkpoint"):
+            main(["analyze", "--workload", "factorial", "--resume"])
+
+    def test_queue_requires_distributed_backend(self, tmp_path):
+        with pytest.raises(SystemExit, match="distributed"):
+            main(["analyze", "--workload", "factorial", "--queue",
+                  str(tmp_path / "q")])
+
+    def test_workers_zero_requires_distributed_backend(self):
+        with pytest.raises(SystemExit, match="distributed"):
+            main(["analyze", "--workload", "factorial", "--workers", "0"])
+
+    def test_workers_zero_with_distributed_requires_queue(self):
+        with pytest.raises(SystemExit, match="queue"):
+            main(["analyze", "--workload", "factorial", "--backend",
+                  "distributed", "--workers", "0"])
+
+    def test_chunk_size_requires_a_chunked_backend(self):
+        with pytest.raises(SystemExit, match="chunk"):
+            main(["analyze", "--workload", "factorial", "--chunk-size", "4"])
+
+    def test_negative_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--workload", "factorial", "--workers", "-1"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+
+class TestAnalyzeBackends:
+    def test_explicit_pool_backend_matches_serial(self, capsys):
+        serial = analyze_output(capsys)
+        pooled = analyze_output(capsys, "--backend", "pool", "--workers", "2")
+        assert "backend        : pool" in pooled
+        assert normalized(serial) == normalized(pooled)
+
+    def test_distributed_backend_matches_serial(self, capsys):
+        serial = analyze_output(capsys)
+        distributed = analyze_output(capsys, "--backend", "distributed",
+                                     "--workers", "2")
+        assert "backend        : distributed" in distributed
+        assert normalized(serial) == normalized(distributed)
+
+    def test_checkpoint_then_resume_completes_identically(self, tmp_path,
+                                                          capsys):
+        journal = str(tmp_path / "ckpt.pkl")
+        serial = analyze_output(capsys)
+        # Partial sweep, then a resumed full sweep over the same journal.
+        main(["analyze", "--workload", "factorial", "--query", "err-output",
+              "--max-injections", "3", "--max-states", "5000",
+              "--checkpoint", journal])
+        capsys.readouterr()
+        resumed = analyze_output(capsys, "--checkpoint", journal, "--resume")
+        assert normalized(serial) == normalized(resumed)
+
+    def test_shared_cache_keeps_output_identical(self, tmp_path, capsys):
+        serial = analyze_output(capsys)
+        cached = analyze_output(capsys, "--shared-cache",
+                                str(tmp_path / "cache.db"))
+        again = analyze_output(capsys, "--shared-cache",
+                               str(tmp_path / "cache.db"))
+        assert normalized(serial) == normalized(cached) == normalized(again)

@@ -301,3 +301,50 @@ class TestBoundedModelChecker:
             outputs[concretize] = {sol.state.output_values()
                                    for sol in result.solutions}
         assert outputs[True] == outputs[False]
+
+
+class TestSearchResultCacheLru:
+    """Eviction-order and statistics-aggregation edge cases (PR 3)."""
+
+    def test_eviction_follows_lru_order(self):
+        cache = SearchResultCache(max_entries=3)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.store("c", 3)
+        assert cache.get("a") == 1          # refresh: order is now b, c, a
+        cache.store("d", 4)                 # evicts b (least recently used)
+        assert cache.get("b") is None
+        cache.store("e", 5)                 # evicts c, the next-coldest
+        assert cache.get("c") is None
+        assert [cache.get(key) for key in ("a", "d", "e")] == [1, 4, 5]
+        assert cache.statistics.evictions == 2
+
+    def test_max_entries_one_keeps_only_the_latest(self):
+        cache = SearchResultCache(max_entries=1)
+        cache.store("first", 1)
+        cache.store("first", 10)            # overwrite, not an eviction
+        assert cache.statistics.evictions == 0
+        assert cache.get("first") == 10
+        cache.store("second", 2)            # capacity 1: first must go
+        assert len(cache) == 1
+        assert cache.get("first") is None
+        assert cache.get("second") == 2
+        assert cache.statistics.evictions == 1
+
+    def test_accumulate_aggregates_across_worker_snapshots(self):
+        from repro.core import CacheStatistics
+        snapshots = [
+            ("worker-0", CacheStatistics(hits=5, misses=3, stores=3,
+                                         evictions=1)),
+            ("worker-1", CacheStatistics(hits=0, misses=4, stores=4,
+                                         evictions=0)),
+            ("worker-2", CacheStatistics(hits=7, misses=1, stores=1,
+                                         evictions=2)),
+        ]
+        total = CacheStatistics()
+        for _, stats in snapshots:
+            total.accumulate(stats)
+        assert (total.hits, total.misses) == (12, 8)
+        assert (total.stores, total.evictions) == (8, 3)
+        assert total.lookups == 20
+        assert total.hit_rate == pytest.approx(0.6)

@@ -1,0 +1,184 @@
+"""Tests for the cross-process shared search-result cache."""
+
+import pytest
+
+from repro.core import (BoundedModelChecker, SharedSearchResultCache,
+                        SymbolicCampaign, executor_digest, output_contains_err,
+                        stable_state_digest)
+from repro.errors.injector import prepare_injected_state
+from repro.machine import ExecutionConfig
+from repro.machine.executor import Executor
+from repro.parallel import (CacheSpec, CampaignSpec, ParallelConfig,
+                            QuerySpec, run_campaign_parallel)
+from repro.programs import factorial_workload
+
+WORKERS = 2
+
+
+def make_campaign(workload, **kwargs):
+    defaults = dict(max_solutions_per_injection=10,
+                    max_states_per_injection=10_000)
+    defaults.update(kwargs)
+    return SymbolicCampaign(
+        workload.program,
+        input_values=workload.default_input,
+        memory=workload.data_segment,
+        detectors=workload.detectors,
+        execution_config=ExecutionConfig(max_steps=workload.recommended_max_steps),
+        **defaults)
+
+
+def result_keys(campaign_result):
+    return [(r.injection.label(), r.activated, r.completed,
+             [s.state.output_values() for s in r.solutions],
+             [s.state.status.value for s in r.solutions])
+            for r in campaign_result.results]
+
+
+def injected_search_fixture():
+    workload = factorial_workload()
+    campaign = make_campaign(workload)
+    injection = campaign.enumerate_injections()[0]
+    injected = prepare_injected_state(workload.program, injection,
+                                      campaign.fresh_initial_state())
+    executor = Executor(workload.program, workload.detectors,
+                        campaign.execution_config)
+    return executor, injected
+
+
+class TestStableDigests:
+    def test_executor_digest_stable_across_rebuilds(self):
+        campaign_a = make_campaign(factorial_workload())
+        spec = CampaignSpec.from_campaign(campaign_a)
+        campaign_b = spec.build()
+        assert executor_digest(campaign_a._executor) \
+            == executor_digest(campaign_b._executor)
+
+    def test_executor_digest_distinguishes_configs(self):
+        workload = factorial_workload()
+        campaign_a = make_campaign(workload)
+        campaign_b = make_campaign(workload)
+        campaign_b.execution_config = ExecutionConfig(max_steps=123)
+        executor_b = Executor(workload.program, workload.detectors,
+                              campaign_b.execution_config)
+        assert executor_digest(campaign_a._executor) \
+            != executor_digest(executor_b)
+
+    def test_state_digest_ignores_write_history(self):
+        campaign = make_campaign(factorial_workload())
+        state_a = campaign.fresh_initial_state()
+        state_b = campaign.fresh_initial_state()
+        state_a.write_memory(10, 7)
+        state_a.write_memory(20, 9)
+        state_b.write_memory(20, 9)  # same content, different write order
+        state_b.write_memory(10, 7)
+        assert stable_state_digest(state_a) == stable_state_digest(state_b)
+
+    def test_state_digest_distinguishes_content(self):
+        campaign = make_campaign(factorial_workload())
+        state_a = campaign.fresh_initial_state()
+        state_b = campaign.fresh_initial_state()
+        state_b.write_register(3, 99)
+        assert stable_state_digest(state_a) != stable_state_digest(state_b)
+
+
+class TestSharedSearchResultCache:
+    def test_hit_across_instances(self, tmp_path):
+        """A second process (modelled by a second instance) reuses stored
+        searches — the cross-process sharing the ROADMAP asked for."""
+        path = str(tmp_path / "cache.db")
+        executor, injected = injected_search_fixture()
+        query = output_contains_err()
+
+        writer = SharedSearchResultCache(path)
+        checker = BoundedModelChecker(executor, max_solutions=50,
+                                      max_states=50_000, result_cache=writer)
+        first = checker.search_single(injected.copy(), query)
+        assert (writer.statistics.misses, writer.statistics.stores) == (1, 1)
+        assert len(writer) == 1
+
+        reader = SharedSearchResultCache(path)
+        checker_b = BoundedModelChecker(executor, max_solutions=50,
+                                        max_states=50_000, result_cache=reader)
+        second = checker_b.search_single(injected.copy(), query)
+        assert (reader.statistics.hits, reader.statistics.misses) == (1, 0)
+        assert second.completed == first.completed
+        assert [s.state.output_values() for s in second.solutions] \
+            == [s.state.output_values() for s in first.solutions]
+        writer.close()
+        reader.close()
+
+    def test_distinguishes_queries_and_caps(self, tmp_path):
+        from repro.core import halted_normally
+        path = str(tmp_path / "cache.db")
+        executor, injected = injected_search_fixture()
+        cache = SharedSearchResultCache(path)
+        checker = BoundedModelChecker(executor, max_solutions=50,
+                                      max_states=50_000, result_cache=cache)
+        checker.search_single(injected.copy(), output_contains_err())
+        checker.search_single(injected.copy(), halted_normally())
+        checker.max_states = 40_000
+        checker.search_single(injected.copy(), output_contains_err())
+        assert cache.statistics.hits == 0
+        assert len(cache) == 3
+        cache.close()
+
+    def test_store_overwrite_is_idempotent(self, tmp_path):
+        cache = SharedSearchResultCache(str(tmp_path / "cache.db"))
+        executor, injected = injected_search_fixture()
+        query = output_contains_err()
+        checker = BoundedModelChecker(executor, max_solutions=50,
+                                      max_states=50_000)
+        result = checker.search_single(injected.copy(), query)
+        key = cache.make_key(executor, injected, query, ("caps",))
+        cache.store(key, result)
+        cache.store(key, result)  # racing twin workers overwrite, no error
+        assert len(cache) == 1
+        assert cache.get(key).completed == result.completed
+        cache.close()
+
+
+class TestCacheSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cache kind"):
+            CacheSpec(kind="bogus")
+        with pytest.raises(ValueError, match="path"):
+            CacheSpec(kind="shared")
+
+    def test_builds_the_right_cache(self, tmp_path):
+        from repro.core import SearchResultCache
+        assert isinstance(CacheSpec().build(), SearchResultCache)
+        local = CacheSpec(max_entries=5).build()
+        assert local.max_entries == 5
+        shared = CacheSpec.shared(str(tmp_path / "cache.db")).build()
+        assert isinstance(shared, SharedSearchResultCache)
+        shared.close()
+
+
+class TestPoolWithSharedCache:
+    def test_pool_matches_serial_and_second_run_hits(self, tmp_path):
+        path = str(tmp_path / "cache.db")
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        injections = campaign.enumerate_injections()[:8]
+        query_spec = QuerySpec.predefined(
+            "err-output", golden_output=workload.golden_output())
+        config = ParallelConfig(workers=WORKERS, chunk_size=2,
+                                cache=CacheSpec.shared(path))
+
+        parallel = run_campaign_parallel(campaign, query_spec,
+                                         injections=injections, config=config)
+        serial = campaign.run(query_spec.build(), injections=injections)
+        assert result_keys(parallel) == result_keys(serial)
+
+        # Every search is now on disk: a re-run resolves entirely from cache.
+        strategy_config = ParallelConfig(workers=WORKERS, chunk_size=2,
+                                         cache=CacheSpec.shared(path))
+        from repro.parallel import ParallelExecutionStrategy
+        strategy = ParallelExecutionStrategy(query_spec, strategy_config)
+        rerun = campaign.run(query_spec.build(), injections=injections,
+                             strategy=strategy)
+        assert result_keys(rerun) == result_keys(serial)
+        stats = strategy.cache_statistics
+        assert stats.hits == len(injections)
+        assert stats.misses == 0
