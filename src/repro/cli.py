@@ -177,9 +177,19 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--chunk-size", type=_positive_int, default=None,
                          help="injections per work unit "
                               "(default: a few chunks per worker)")
+    analyze.add_argument("--granularity", default="chunk",
+                         choices=("chunk", "task"),
+                         help="distribution unit: raw injection chunks, or "
+                              "whole paper-style search tasks (Section 6.1) "
+                              "through the task-strategy seam")
     analyze.add_argument("--queue", default=None,
-                         help="broker directory for the distributed backend "
-                              "(default: a private temporary directory)")
+                         help="queue for the distributed backend: a broker "
+                              "directory, or tcp://HOST:PORT of a running "
+                              "'repro broker' (default: a private temporary "
+                              "directory)")
+    analyze.add_argument("--lease-seconds", type=_positive_float, default=60.0,
+                         help="distributed-backend claim lease; a worker "
+                              "silent this long forfeits its task")
     analyze.add_argument("--shared-cache", default=None,
                          help="path to a cross-process search-result cache "
                               "database shared by all workers")
@@ -201,11 +211,26 @@ def _build_parser() -> argparse.ArgumentParser:
     concrete.add_argument("--expected-values", type=int, nargs="*", default=None,
                           help="printed values that get their own outcome row")
 
+    broker = subparsers.add_parser(
+        "broker", help="TCP task broker: serve one campaign queue to "
+                       "workers and coordinators that share no filesystem")
+    broker.add_argument("--listen", default="127.0.0.1:0",
+                        help="HOST:PORT to listen on (port 0 picks a free "
+                             "port and prints it)")
+    broker.add_argument("--lease-seconds", type=_positive_float, default=60.0,
+                        help="default claim lease for workers that do not "
+                             "request their own")
+    broker.add_argument("--connection-timeout", type=_positive_float,
+                        default=600.0,
+                        help="drop connections idle for this many seconds")
+
     worker = subparsers.add_parser(
         "worker", help="standalone campaign worker: drain tasks from a "
-                       "distributed queue directory")
+                       "distributed queue")
     worker.add_argument("--queue", required=True,
-                        help="broker directory shared with the coordinator")
+                        help="queue shared with the coordinator: a broker "
+                             "directory, or tcp://HOST:PORT of a running "
+                             "'repro broker'")
     worker.add_argument("--poll-interval", type=_positive_float, default=0.1,
                         help="seconds between queue polls when idle")
     worker.add_argument("--max-idle", type=_positive_float, default=None,
@@ -254,6 +279,10 @@ def _resolve_backend(args: argparse.Namespace) -> str:
     if backend == "serial" and args.chunk_size is not None:
         raise SystemExit("--chunk-size only applies to --backend pool or "
                          "distributed (the serial sweep is not chunked)")
+    if args.granularity == "task" and backend == "serial":
+        raise SystemExit("--granularity task needs --backend pool or "
+                         "distributed (a serial sweep has no task backend "
+                         "to ship whole tasks to)")
     if args.resume and args.checkpoint is None:
         raise SystemExit("--resume needs --checkpoint PATH (the journal to "
                          "resume from)")
@@ -273,26 +302,39 @@ def _build_analyze_strategy(args: argparse.Namespace, backend: str,
                   if args.shared_cache else None)
     query_spec = QuerySpec.predefined(args.query, golden_output=golden,
                                       expected_value=expected)
+    whole_tasks = args.granularity == "task"
     if backend == "serial":
         cache = (cache_spec or CacheSpec()).build()
         strategy = SerialExecutionStrategy(result_cache=cache)
         statistics = lambda: cache.statistics  # noqa: E731
     elif backend == "pool":
-        from .parallel import ParallelConfig, ParallelExecutionStrategy
-        strategy = ParallelExecutionStrategy(
-            query_spec, ParallelConfig(workers=args.workers,
-                                       chunk_size=args.chunk_size,
-                                       cache=cache_spec))
+        from .parallel import (ParallelConfig, ParallelExecutionStrategy,
+                               ParallelTaskStrategy)
+        config = ParallelConfig(workers=args.workers,
+                                chunk_size=args.chunk_size,
+                                cache=cache_spec)
+        strategy = (ParallelTaskStrategy(query_spec, config) if whole_tasks
+                    else ParallelExecutionStrategy(query_spec, config))
         statistics = lambda: strategy.cache_statistics  # noqa: E731
     else:
         from .distributed import (DistributedConfig,
-                                  DistributedExecutionStrategy)
-        strategy = DistributedExecutionStrategy(
-            query_spec, DistributedConfig(workers=args.workers,
-                                          chunk_size=args.chunk_size,
-                                          queue_dir=args.queue,
-                                          cache=cache_spec))
+                                  DistributedExecutionStrategy,
+                                  DistributedTaskStrategy)
+        config = DistributedConfig(workers=args.workers,
+                                   chunk_size=args.chunk_size,
+                                   queue_dir=args.queue,
+                                   lease_seconds=args.lease_seconds,
+                                   cache=cache_spec)
+        strategy = (DistributedTaskStrategy(query_spec, config) if whole_tasks
+                    else DistributedExecutionStrategy(query_spec, config))
         statistics = lambda: strategy.cache_statistics  # noqa: E731
+    if whole_tasks:
+        # Whole search tasks flow through the TaskExecutionStrategy seam;
+        # the sweep adapter flattens their results back into the identical
+        # per-injection CampaignResult.
+        from .core.tasks import TaskSweepStrategy
+        strategy = TaskSweepStrategy(strategy, chunk_size=args.chunk_size,
+                                     workers_hint=max(1, args.workers))
 
     if args.checkpoint is not None:
         from .distributed import CheckpointingStrategy
@@ -404,7 +446,34 @@ def _command_concrete(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_broker(args: argparse.Namespace) -> int:
+    import signal
+
+    from .net import BrokerServer, parse_listen_address
+
+    try:
+        host, port = parse_listen_address(args.listen)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    server = BrokerServer(host=host, port=port,
+                          lease_seconds=args.lease_seconds,
+                          connection_timeout=args.connection_timeout)
+
+    signal.signal(signal.SIGTERM, lambda signum, frame: server.request_stop())
+    signal.signal(signal.SIGINT, lambda signum, frame: server.request_stop())
+    print(f"broker listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+    print("broker stopped")
+    return 0
+
+
 def _command_worker(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .distributed import WorkerConfig, run_worker
 
     config = WorkerConfig(queue_dir=args.queue,
@@ -418,11 +487,23 @@ def _command_worker(args: argparse.Namespace) -> int:
             print(f"  task {index}: {injections} injections done",
                   file=sys.stderr)
 
+    # Graceful shutdown: on SIGTERM the worker finishes (and publishes) the
+    # unit it is executing, releases any unstarted claim back to the queue,
+    # and exits — nothing is left to recover via lease expiry.
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+
     try:
-        executed = run_worker(config, on_task=report_task)
-    except TimeoutError as exc:
+        executed = run_worker(config, on_task=report_task,
+                              should_stop=stop.is_set)
+    except (TimeoutError, ConnectionError) as exc:
+        # No manifest in time, or a tcp:// broker that stayed unreachable
+        # through the client's retries: a clean message, not a traceback.
         raise SystemExit(f"worker gave up: {exc}") from exc
-    print(f"worker drained: {executed} tasks executed")
+    if stop.is_set():
+        print(f"worker stopped on SIGTERM: {executed} tasks executed")
+    else:
+        print(f"worker drained: {executed} tasks executed")
     return 0
 
 
@@ -434,6 +515,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_analyze(args)
     if args.command == "concrete":
         return _command_concrete(args)
+    if args.command == "broker":
+        return _command_broker(args)
     if args.command == "worker":
         return _command_worker(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

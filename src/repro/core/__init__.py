@@ -13,7 +13,7 @@ from .campaign import (CampaignResult, ExecutionStrategy, InjectionResult,
                        SerialExecutionStrategy, SymbolicCampaign)
 from .tasks import (SearchTask, SerialTaskStrategy, TaskCampaignReport,
                     TaskExecutionStrategy, TaskResult, TaskRunner,
-                    chunk_injections, decompose_by_chunk,
+                    TaskSweepStrategy, chunk_injections, decompose_by_chunk,
                     decompose_by_code_section, decompose_by_injection,
                     default_chunk_size)
 from .traces import Witness, witnesses_from_campaign
@@ -31,6 +31,7 @@ __all__ = [
     "SerialExecutionStrategy", "SymbolicCampaign",
     "SearchTask", "SerialTaskStrategy", "TaskCampaignReport",
     "TaskExecutionStrategy", "TaskResult", "TaskRunner",
+    "TaskSweepStrategy",
     "chunk_injections", "decompose_by_chunk",
     "decompose_by_code_section", "decompose_by_injection",
     "default_chunk_size",

@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors.injector import Injection
-from .campaign import InjectionResult, SymbolicCampaign
+from .campaign import (ExecutionStrategy, InjectionResult, ProgressCallback,
+                       SymbolicCampaign)
 from .queries import SearchQuery
 from .search import SearchResultCache
 
@@ -248,6 +249,76 @@ class SerialTaskStrategy(TaskExecutionStrategy):
             if progress is not None:
                 progress(index + 1, len(tasks), task_result)
         return results
+
+
+class TaskSweepStrategy(ExecutionStrategy):
+    """Run an injection sweep as whole search tasks through any task backend.
+
+    The adapter between the two strategy seams: it decomposes the sweep
+    into fixed-size :class:`SearchTask` units, executes them through the
+    given :class:`TaskExecutionStrategy` (serial, pool or distributed) with
+    the per-task caps disabled, and flattens the task results back into the
+    per-injection list :meth:`SymbolicCampaign.run` expects.  With the caps
+    off every injection of every task runs, so the flattened results are
+    identical to a direct sweep — which is what lets ``repro analyze
+    --granularity task`` ship *whole tasks* through a broker and still
+    produce a byte-identical :class:`~repro.core.campaign.CampaignResult`.
+    """
+
+    name = "task-sweep"
+
+    def __init__(self, task_strategy: TaskExecutionStrategy,
+                 chunk_size: Optional[int] = None,
+                 workers_hint: int = 1) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.task_strategy = task_strategy
+        self.chunk_size = chunk_size
+        self.workers_hint = max(1, workers_hint)
+
+    @property
+    def cache_statistics(self):
+        """Delegate to the wrapped task strategy's counters (if it has any)."""
+        return getattr(self.task_strategy, "cache_statistics", None)
+
+    def run(self, campaign: SymbolicCampaign,
+            injections: Sequence[Injection], query: SearchQuery,
+            progress: Optional[ProgressCallback] = None,
+            ) -> List[InjectionResult]:
+        injections = list(injections)
+        if not injections:
+            return []
+        chunk_size = (self.chunk_size
+                      or default_chunk_size(len(injections),
+                                            self.workers_hint))
+        tasks = decompose_by_chunk(injections, chunk_size)
+        # Caps large enough to never trigger: the sweep semantics promise
+        # one result per injection, which a capped task would cut short.
+        runner = TaskRunner(campaign,
+                            max_errors_per_task=2**62,
+                            wall_clock_per_task=None)
+        done = 0
+
+        def task_progress(_completed: int, _total: int,
+                          task_result: TaskResult) -> None:
+            # Emit here — once per task, as soon as the executing backend
+            # learns the result — so result sinks (checkpoint journaling)
+            # see results incrementally, not only after the whole sweep.
+            nonlocal done
+            assert len(task_result.results) == len(task_result.task.injections), \
+                "uncapped task must run every one of its injections"
+            for injection, result in zip(task_result.task.injections,
+                                         task_result.results):
+                self.emit_result(injection, result)
+            done += len(task_result.results)
+            if progress is not None and task_result.results:
+                progress(done, len(injections), task_result.results[-1])
+
+        task_results = self.task_strategy.run(runner, tasks, query,
+                                              progress=task_progress)
+        # Deterministic merge: flatten in task-submission (= sweep) order.
+        return [result for task_result in task_results
+                for result in task_result.results]
 
 
 class TaskRunner:

@@ -2,38 +2,49 @@
 
 Where :mod:`repro.parallel` shards a sweep across a single host's worker
 pool, this package distributes it through a durable broker to standalone
-``repro worker`` processes — on the same machine or on any machine sharing
-the queue directory — with checkpoint/resume riding on the same journal
-layer.
+``repro worker`` processes — over a shared queue directory, or over TCP via
+:mod:`repro.net` for hosts that share nothing but a port — with
+checkpoint/resume riding on the same journal layer.
 
 Public surface:
 
-* :class:`FilesystemBroker` / :class:`Broker` / :class:`CampaignManifest` —
-  the durable task queue and the contract a socket/redis broker would
-  implement;
+* :class:`FilesystemBroker` / :class:`Broker` / :class:`CampaignManifest` /
+  :func:`open_broker` — the durable task queue, the contract every backend
+  implements (the socket broker lives in :mod:`repro.net`), and the queue
+  locator resolver (directory path or ``tcp://host:port``);
 * :class:`DistributedConfig` / :class:`DistributedExecutionStrategy` /
   :func:`run_campaign_distributed` — the coordinator, plugging into the
   ``ExecutionStrategy`` seam of :class:`~repro.core.campaign.
   SymbolicCampaign`;
+* :class:`DistributedTaskStrategy` / :func:`run_tasks_distributed` — whole
+  paper-style search tasks (with per-task caps) through the broker, behind
+  the ``TaskExecutionStrategy`` seam of :class:`~repro.core.tasks.
+  TaskRunner`;
 * :class:`WorkerConfig` / :func:`run_worker` — the standalone worker loop
-  behind ``repro worker --queue DIR``;
+  behind ``repro worker --queue DIR|tcp://…``;
+* :class:`Backoff` — capped exponential backoff shared by the idle polling
+  loops;
 * :class:`CheckpointJournal` / :class:`CheckpointingStrategy` — campaign
   checkpoint/resume for any backend;
 * :class:`RecordJournal` — the crash-tolerant append-only log underneath.
 """
 
-from .broker import Broker, CampaignManifest, ClaimedTask, FilesystemBroker
+from .backoff import Backoff
+from .broker import (Broker, CampaignManifest, ClaimedTask, FilesystemBroker,
+                     open_broker)
 from .checkpoint import (CheckpointJournal, CheckpointingStrategy,
                          campaign_header, injection_key)
 from .journal import RecordJournal
 from .strategy import (DistributedConfig, DistributedExecutionStrategy,
-                       run_campaign_distributed)
+                       DistributedTaskStrategy, run_campaign_distributed,
+                       run_tasks_distributed)
 from .worker import WorkerConfig, run_worker
 
 __all__ = [
-    "Broker", "CampaignManifest", "CheckpointJournal",
+    "Backoff", "Broker", "CampaignManifest", "CheckpointJournal",
     "CheckpointingStrategy", "ClaimedTask", "DistributedConfig",
-    "DistributedExecutionStrategy", "FilesystemBroker", "RecordJournal",
-    "WorkerConfig", "campaign_header", "injection_key",
-    "run_campaign_distributed", "run_worker",
+    "DistributedExecutionStrategy", "DistributedTaskStrategy",
+    "FilesystemBroker", "RecordJournal", "WorkerConfig", "campaign_header",
+    "injection_key", "open_broker", "run_campaign_distributed",
+    "run_tasks_distributed", "run_worker",
 ]

@@ -1,0 +1,49 @@
+"""Capped exponential backoff for the idle polling loops.
+
+The coordinator's result-fetch loop and the worker's claim loop both poll a
+broker.  A fixed ``time.sleep(poll_interval)`` either burns CPU (and, over
+TCP, broker round-trips) when the queue stays quiet, or adds latency when it
+is busy.  :class:`Backoff` gives both loops the standard shape: sleep the
+base interval after the first miss, double on every further miss up to a
+cap, and reset to the base the moment there is work — so pickup stays as
+fast as before under load while an idle worker's polling rate decays
+geometrically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Backoff:
+    """Exponentially growing sleep between polls, reset on activity."""
+
+    def __init__(self, initial: float, cap: Optional[float] = None,
+                 factor: float = 2.0) -> None:
+        if initial <= 0:
+            raise ValueError(f"initial must be positive, got {initial}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        #: Default cap: two orders of growth, bounded by one second so
+        #: drain/shutdown detection never lags a human-noticeable amount.
+        self.cap = max(initial, min(1.0, initial * 32)
+                       if cap is None else cap)
+        self.initial = initial
+        self.factor = factor
+        self.current = initial
+
+    def reset(self) -> None:
+        """There was work: next idle sleep starts from the base again."""
+        self.current = self.initial
+
+    def peek(self) -> float:
+        """The duration the next :meth:`sleep` will wait."""
+        return self.current
+
+    def sleep(self) -> float:
+        """Sleep the current interval, grow it, and return what was slept."""
+        interval = self.current
+        time.sleep(interval)
+        self.current = min(self.cap, self.current * self.factor)
+        return interval

@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
-from ..parallel.spec import CacheSpec, CampaignSpec, QuerySpec
+from ..parallel.spec import CacheSpec, CampaignSpec, QuerySpec, TaskSpec
 
 _TASK_PREFIX = "task-"
 _TASK_SUFFIX = ".pkl"
@@ -44,13 +44,16 @@ class CampaignManifest:
 
     *campaign_id* is a per-run nonce: workers echo it in every result, so a
     coordinator reusing a queue directory can tell this campaign's results
-    from a previous campaign's stragglers.
+    from a previous campaign's stragglers.  *task_spec* carries the
+    per-task caps for campaigns that ship whole search tasks (rather than
+    injection chunks) through the broker.
     """
 
     campaign_spec: CampaignSpec
     query_spec: QuerySpec
     cache_spec: Optional[CacheSpec] = None
     campaign_id: str = ""
+    task_spec: TaskSpec = TaskSpec()
 
 
 @dataclass
@@ -63,7 +66,13 @@ class ClaimedTask:
 
 
 class Broker:
-    """The coordinator/worker contract (see the module docstring)."""
+    """The coordinator/worker contract (see the module docstring).
+
+    Every implementation must satisfy ``tests/test_broker_conformance.py``,
+    the executable form of this contract; the suite runs against the
+    filesystem and socket brokers and is the drop-in gate for any future
+    backend (redis, …).
+    """
 
     def publish_manifest(self, manifest: CampaignManifest) -> None:
         raise NotImplementedError
@@ -72,10 +81,17 @@ class Broker:
                       poll_interval: float = 0.1) -> CampaignManifest:
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Purge every artifact of a previous campaign from the queue."""
+        raise NotImplementedError
+
     def put_task(self, index: int, payload: object) -> None:
         raise NotImplementedError
 
     def close_queue(self, total_tasks: int) -> None:
+        raise NotImplementedError
+
+    def total_tasks(self) -> Optional[int]:
         raise NotImplementedError
 
     def claim_next(self, result_valid: Optional[Callable[[object], bool]]
@@ -85,14 +101,41 @@ class Broker:
     def renew_lease(self, claim: ClaimedTask) -> None:
         raise NotImplementedError
 
+    def release(self, claim: ClaimedTask) -> None:
+        """Return a live claim to the pending queue without completing it.
+
+        The graceful half of lease recovery: a worker shutting down (e.g.
+        on SIGTERM) releases its claim so another worker picks the task up
+        immediately instead of after lease expiry.  Releasing an
+        already-expired or completed claim is a harmless no-op.
+        """
+        raise NotImplementedError
+
     def complete(self, claim: ClaimedTask, result_payload: object) -> None:
         raise NotImplementedError
 
     def fetch_new_results(self, seen: Set[int]) -> List[Tuple[int, object]]:
         raise NotImplementedError
 
+    def discard_result(self, index: int) -> None:
+        raise NotImplementedError
+
     def requeue_expired(self) -> List[int]:
         raise NotImplementedError
+
+    def pending_count(self) -> int:
+        raise NotImplementedError
+
+    def claimed_count(self) -> int:
+        raise NotImplementedError
+
+    def results_count(self) -> int:
+        raise NotImplementedError
+
+    def is_drained(self) -> bool:
+        """True once every enqueued task has a result."""
+        total = self.total_tasks()
+        return total is not None and self.results_count() >= total
 
 
 class FilesystemBroker(Broker):
@@ -289,6 +332,16 @@ class FilesystemBroker(Broker):
                 payload = self._read(claim_path)
             except FileNotFoundError:
                 continue  # extreme stall: the claim expired and was requeued
+            except Exception:
+                # A torn or corrupt task payload (publishes are atomic, so
+                # only external interference produces one): quarantine it
+                # under a name the task scan ignores, so the claim loop
+                # keeps making progress on intact tasks.
+                try:
+                    os.rename(claim_path, claim_path + ".corrupt")
+                except FileNotFoundError:  # pragma: no cover - racing twin
+                    pass
+                continue
             return ClaimedTask(index=index, payload=payload,
                                claim_path=claim_path)
         return None
@@ -298,6 +351,14 @@ class FilesystemBroker(Broker):
             os.utime(claim.claim_path)
         except FileNotFoundError:
             pass  # lease expired and was requeued; completion is still safe
+
+    def release(self, claim: ClaimedTask) -> None:
+        try:
+            os.rename(claim.claim_path,
+                      os.path.join(self.pending_dir,
+                                   self._task_filename(claim.index)))
+        except FileNotFoundError:
+            pass  # already expired/requeued or completed: nothing to return
 
     def complete(self, claim: ClaimedTask, result_payload: object) -> None:
         self._write_atomic(os.path.join(self.results_dir,
@@ -319,10 +380,20 @@ class FilesystemBroker(Broker):
     def results_count(self) -> int:
         return len(self._task_files(self.results_dir))
 
-    def is_drained(self) -> bool:
-        """True once every enqueued task has a result."""
-        total = self.total_tasks()
-        return total is not None and self.results_count() >= total
+
+def open_broker(queue: str, lease_seconds: float = 60.0) -> Broker:
+    """Open the broker a queue locator names.
+
+    ``tcp://host:port`` connects a :class:`~repro.net.SocketBroker` to a
+    ``repro broker`` server; anything else is a shared queue directory for
+    :class:`FilesystemBroker`.  Every consumer of ``--queue`` (coordinator,
+    worker, CLI) resolves the locator through this one function, so a new
+    backend scheme is a one-line addition here.
+    """
+    if queue.startswith("tcp://"):
+        from ..net import SocketBroker  # deferred: repro.net imports us
+        return SocketBroker(queue, lease_seconds=lease_seconds)
+    return FilesystemBroker(queue, lease_seconds=lease_seconds)
 
 
 def enqueue_campaign(broker: Broker, manifest: CampaignManifest,

@@ -2,14 +2,27 @@
 
 :class:`DistributedExecutionStrategy` plugs into the same
 :class:`~repro.core.campaign.ExecutionStrategy` seam as the serial and pool
-backends, but executes the sweep through the broker: the injection sweep is
+backends, but executes the sweep through a broker: the injection sweep is
 chunked exactly like the pool's, each chunk is enqueued as a durable task,
 standalone ``repro worker`` processes (spawned locally by default, or
-attached externally to the same queue directory) claim and execute them,
-and the coordinator merges results back in submission order — so a
-distributed :class:`~repro.core.campaign.CampaignResult` is identical
-(solutions, outcomes, ordering) to the serial one, with only wall-clock
-fields differing.
+attached externally to the same queue) claim and execute them, and the
+coordinator merges results back in submission order — so a distributed
+:class:`~repro.core.campaign.CampaignResult` is identical (solutions,
+outcomes, ordering) to the serial one, with only wall-clock fields
+differing.
+
+:class:`DistributedTaskStrategy` is the same coordination loop behind the
+:class:`~repro.core.tasks.TaskExecutionStrategy` seam: entire paper-style
+search tasks — with their per-task error/wall-clock caps — flow through the
+broker instead of raw injection chunks, and the merged
+:class:`~repro.core.tasks.TaskResult` list matches
+:class:`~repro.core.tasks.SerialTaskStrategy` byte for byte (timing fields
+aside).
+
+The queue locator decides the transport: a directory path uses the durable
+:class:`~repro.distributed.broker.FilesystemBroker`; ``tcp://host:port``
+connects to a ``repro broker`` server, so coordinator and workers need not
+share any filesystem.
 
 Fault tolerance: worker death is handled twice over — expired leases return
 the dead worker's claims to the queue (any surviving worker re-runs them),
@@ -27,18 +40,21 @@ import sys
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.campaign import (CampaignResult, ExecutionStrategy,
                              InjectionResult, ProgressCallback,
                              SymbolicCampaign)
 from ..core.queries import SearchQuery
 from ..core.search import CacheStatistics
-from ..core.tasks import chunk_injections, default_chunk_size
+from ..core.tasks import (SearchTask, TaskCampaignReport,
+                          TaskExecutionStrategy, TaskResult, TaskRunner,
+                          chunk_injections, default_chunk_size)
 from ..errors.injector import Injection
 from ..parallel.runner import _check_query_consistency, _merge_cache_statistics
-from ..parallel.spec import CacheSpec, CampaignSpec, QuerySpec
-from .broker import CampaignManifest, FilesystemBroker, enqueue_campaign
+from ..parallel.spec import CacheSpec, CampaignSpec, QuerySpec, TaskSpec
+from .backoff import Backoff
+from .broker import CampaignManifest, enqueue_campaign, open_broker
 
 
 def note_worker_snapshot(worker_stats: Dict[str, CacheStatistics],
@@ -67,12 +83,16 @@ class DistributedConfig:
         workers: standalone worker processes to spawn locally; ``0`` means
             none — external workers pointed at *queue_dir* do all the work.
         chunk_size: injections per task; ``None`` picks the pool's heuristic.
-        queue_dir: broker directory; ``None`` uses a private temporary
-            directory (removed after the run).  Required when ``workers=0``,
-            since external workers must be able to find the queue.
+        queue_dir: queue locator — a broker directory, or ``tcp://host:port``
+            for a running ``repro broker`` server.  ``None`` uses a private
+            temporary directory (removed after the run).  Required when
+            ``workers=0``, since external workers must be able to find the
+            queue.
         lease_seconds: how long a claimed task may go without a lease
             renewal before it is considered orphaned and requeued.
-        poll_interval: coordinator/worker polling granularity.
+        poll_interval: coordinator/worker base polling granularity; idle
+            polling decays exponentially from here (see
+            :class:`~repro.distributed.backoff.Backoff`).
         wall_clock_timeout: overall safety bound on the run (None = none).
         max_worker_restarts: how many times dead local workers are replaced
             before the coordinator gives up.
@@ -114,10 +134,11 @@ class DistributedConfig:
 class _LocalWorkerPool:
     """Locally spawned ``repro worker`` subprocesses, with respawn-on-death."""
 
-    def __init__(self, queue_dir: str, config: DistributedConfig) -> None:
-        self.queue_dir = queue_dir
+    def __init__(self, queue: str, log_dir: str,
+                 config: DistributedConfig) -> None:
+        self.queue = queue
         self.config = config
-        self.log_dir = os.path.join(queue_dir, "workers")
+        self.log_dir = log_dir
         os.makedirs(self.log_dir, exist_ok=True)
         self._procs: List[subprocess.Popen] = []
         self._logs: Dict[int, str] = {}
@@ -128,7 +149,7 @@ class _LocalWorkerPool:
         log_path = os.path.join(self.log_dir, f"worker-{self._spawned:03d}.log")
         command = [
             sys.executable, "-m", "repro", "worker",
-            "--queue", self.queue_dir,
+            "--queue", self.queue,
             "--poll-interval", str(self.config.poll_interval),
             "--lease-seconds", str(self.config.lease_seconds),
             # Orphan guard: if the coordinator dies, workers drain what they
@@ -193,8 +214,131 @@ class _LocalWorkerPool:
         return "\n".join(tails) or "(worker logs empty)"
 
 
+class _BrokerCoordinator:
+    """The campaign-driving loop shared by both broker-backed strategies.
+
+    Owns the queue's lifecycle for one run: resolve the locator (private
+    temporary directory, shared directory, or ``tcp://`` URL), reset and
+    publish the campaign, spawn/respawn local workers, fetch results in
+    index order with idle backoff, requeue expired leases, and reject
+    stragglers from a previous campaign that reused the queue.
+    """
+
+    def __init__(self, config: DistributedConfig) -> None:
+        self.config = config
+        self.requeued_tasks: List[int] = []
+        self.worker_stats: Dict[str, CacheStatistics] = {}
+
+    def run(self, campaign: SymbolicCampaign, query_spec: QuerySpec,
+            payloads: List[object], task_spec: TaskSpec,
+            on_merged: Optional[Callable[[int, object], None]] = None,
+            ) -> Dict[int, object]:
+        """Drive *payloads* through the broker; return index → result body."""
+        config = self.config
+        owns_queue_dir = config.queue_dir is None
+        is_remote = (config.queue_dir is not None
+                     and config.queue_dir.startswith("tcp://"))
+        queue = config.queue_dir or tempfile.mkdtemp(prefix="repro-queue-")
+        # Local workers need somewhere for their logs even when the queue
+        # itself is a TCP URL with no directory behind it.
+        log_dir = (tempfile.mkdtemp(prefix="repro-worker-logs-") if is_remote
+                   else os.path.join(queue, "workers"))
+        try:
+            return self._drive(queue, log_dir, campaign, query_spec,
+                               payloads, task_spec, on_merged)
+        finally:
+            if owns_queue_dir:
+                shutil.rmtree(queue, ignore_errors=True)
+            if is_remote:
+                shutil.rmtree(log_dir, ignore_errors=True)
+
+    def _drive(self, queue: str, log_dir: str, campaign: SymbolicCampaign,
+               query_spec: QuerySpec, payloads: List[object],
+               task_spec: TaskSpec,
+               on_merged: Optional[Callable[[int, object], None]],
+               ) -> Dict[int, object]:
+        config = self.config
+        broker = open_broker(queue, lease_seconds=config.lease_seconds)
+        # A queue serves one campaign at a time: purge whatever a previous
+        # run left behind, and tag this run so stragglers of the old
+        # campaign (workers still finishing an old claim) cannot be
+        # mistaken for this campaign's results.
+        campaign_id = os.urandom(8).hex()
+        broker.reset()
+        # Manifest and full task set are durable before any worker starts, so
+        # workers never observe a half-published campaign.
+        enqueue_campaign(
+            broker,
+            CampaignManifest(
+                campaign_spec=CampaignSpec.from_campaign(campaign),
+                query_spec=query_spec,
+                cache_spec=config.cache,
+                campaign_id=campaign_id,
+                task_spec=task_spec),
+            list(enumerate(payloads)))
+
+        pool: Optional[_LocalWorkerPool] = None
+        if config.workers > 0:
+            pool = _LocalWorkerPool(queue, log_dir, config)
+            pool.spawn(min(config.workers, len(payloads)))
+
+        merged: Dict[int, object] = {}
+        deadline = (None if config.wall_clock_timeout is None
+                    else time.monotonic() + config.wall_clock_timeout)
+        idle = Backoff(config.poll_interval)
+        try:
+            while len(merged) < len(payloads):
+                fresh = broker.fetch_new_results(seen=set(merged))
+                for index, payload in fresh:
+                    result_campaign_id, result_index, body, snapshot = payload
+                    if result_campaign_id != campaign_id:
+                        # A straggler from a previous campaign completed an
+                        # old claim after our reset: drop its result and
+                        # re-enqueue our task (the straggler's complete()
+                        # may have consumed our claim for this index).
+                        broker.discard_result(index)
+                        if index < len(payloads):
+                            broker.put_task(index, payloads[index])
+                        continue
+                    assert result_index == index
+                    merged[index] = body
+                    worker_name, stats = snapshot
+                    note_worker_snapshot(self.worker_stats, worker_name, stats)
+                    if on_merged is not None:
+                        on_merged(index, body)
+                if fresh:
+                    idle.reset()
+                    continue  # drain eagerly before sleeping again
+                self.requeued_tasks.extend(broker.requeue_expired())
+                if pool is not None:
+                    pool.reap_and_respawn()
+                    if (pool.alive_count() == 0 and len(merged) < len(payloads)
+                            # Not a failure if the last worker finished the
+                            # queue and exited between our fetch and now.
+                            and broker.results_count() < len(payloads)):
+                        raise RuntimeError(
+                            f"all distributed workers exited with "
+                            f"{len(payloads) - len(merged)} of "
+                            f"{len(payloads)} tasks unfinished (restart "
+                            f"budget {config.restart_budget()} spent); "
+                            f"worker logs:\n{pool.log_tails()}")
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"distributed campaign exceeded its "
+                        f"{config.wall_clock_timeout}s wall-clock budget with "
+                        f"{len(payloads) - len(merged)} tasks outstanding")
+                idle.sleep()
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return merged
+
+    def cache_statistics(self) -> CacheStatistics:
+        return _merge_cache_statistics(self.worker_stats)
+
+
 class DistributedExecutionStrategy(ExecutionStrategy):
-    """Execute a campaign's sweep through the broker (see module docstring)."""
+    """Execute a campaign's sweep through a broker (see module docstring)."""
 
     name = "distributed"
 
@@ -219,103 +363,76 @@ class DistributedExecutionStrategy(ExecutionStrategy):
             self.cache_statistics = CacheStatistics()
             return []
 
-        config = self.config
-        owns_queue_dir = config.queue_dir is None
-        queue_dir = config.queue_dir or tempfile.mkdtemp(prefix="repro-queue-")
-        try:
-            return self._run_through_broker(queue_dir, campaign, injections,
-                                            progress)
-        finally:
-            if owns_queue_dir:
-                shutil.rmtree(queue_dir, ignore_errors=True)
-
-    def _run_through_broker(self, queue_dir: str,
-                            campaign: SymbolicCampaign,
-                            injections: List[Injection],
-                            progress: Optional[ProgressCallback],
-                            ) -> List[InjectionResult]:
-        config = self.config
-        broker = FilesystemBroker(queue_dir, lease_seconds=config.lease_seconds)
-        chunks = chunk_injections(injections,
-                                  config.resolve_chunk_size(len(injections)))
-        # A queue directory serves one campaign at a time: purge whatever a
-        # previous run left behind, and tag this run so stragglers of the
-        # old campaign (workers still finishing an old claim) cannot be
-        # mistaken for this campaign's results.
-        campaign_id = os.urandom(8).hex()
-        broker.reset()
-        # Manifest and full task set are durable before any worker starts, so
-        # workers never observe a half-published campaign.
-        enqueue_campaign(
-            broker,
-            CampaignManifest(
-                campaign_spec=CampaignSpec.from_campaign(campaign),
-                query_spec=self.query_spec,
-                cache_spec=config.cache,
-                campaign_id=campaign_id),
-            list(enumerate(chunks)))
-
-        pool: Optional[_LocalWorkerPool] = None
-        if config.workers > 0:
-            pool = _LocalWorkerPool(queue_dir, config)
-            pool.spawn(min(config.workers, len(chunks)))
-
-        merged: Dict[int, List[InjectionResult]] = {}
-        worker_stats: Dict[str, CacheStatistics] = {}
+        chunks = chunk_injections(
+            injections, self.config.resolve_chunk_size(len(injections)))
         done_injections = 0
-        deadline = (None if config.wall_clock_timeout is None
-                    else time.monotonic() + config.wall_clock_timeout)
-        try:
-            while len(merged) < len(chunks):
-                fresh = broker.fetch_new_results(seen=set(merged))
-                for index, payload in fresh:
-                    result_campaign_id, chunk_index, results, snapshot = payload
-                    if result_campaign_id != campaign_id:
-                        # A straggler from a previous campaign completed an
-                        # old claim after our reset: drop its result and
-                        # re-enqueue our task (the straggler's complete()
-                        # may have consumed our claim file for this index).
-                        broker.discard_result(index)
-                        if index < len(chunks):
-                            broker.put_task(index, chunks[index])
-                        continue
-                    assert chunk_index == index
-                    merged[index] = results
-                    worker_name, stats = snapshot
-                    note_worker_snapshot(worker_stats, worker_name, stats)
-                    for injection, result in zip(chunks[index], results):
-                        self.emit_result(injection, result)
-                    done_injections += len(results)
-                    if progress is not None and results:
-                        progress(done_injections, len(injections), results[-1])
-                if fresh:
-                    continue  # drain eagerly before sleeping again
-                self.requeued_tasks.extend(broker.requeue_expired())
-                if pool is not None:
-                    pool.reap_and_respawn()
-                    if (pool.alive_count() == 0 and len(merged) < len(chunks)
-                            # Not a failure if the last worker finished the
-                            # queue and exited between our fetch and now.
-                            and broker.results_count() < len(chunks)):
-                        raise RuntimeError(
-                            f"all distributed workers exited with "
-                            f"{len(chunks) - len(merged)} of {len(chunks)} "
-                            f"tasks unfinished (restart budget "
-                            f"{config.restart_budget()} spent); worker logs:\n"
-                            f"{pool.log_tails()}")
-                if deadline is not None and time.monotonic() > deadline:
-                    raise TimeoutError(
-                        f"distributed campaign exceeded its "
-                        f"{config.wall_clock_timeout}s wall-clock budget with "
-                        f"{len(chunks) - len(merged)} tasks outstanding")
-                time.sleep(config.poll_interval)
-        finally:
-            if pool is not None:
-                pool.shutdown()
-        self.cache_statistics = _merge_cache_statistics(worker_stats)
+
+        def on_merged(index: int, results: List[InjectionResult]) -> None:
+            nonlocal done_injections
+            for injection, result in zip(chunks[index], results):
+                self.emit_result(injection, result)
+            done_injections += len(results)
+            if progress is not None and results:
+                progress(done_injections, len(injections), results[-1])
+
+        coordinator = _BrokerCoordinator(self.config)
+        merged = coordinator.run(campaign, self.query_spec, chunks,
+                                 TaskSpec(), on_merged=on_merged)
+        self.requeued_tasks = coordinator.requeued_tasks
+        self.cache_statistics = coordinator.cache_statistics()
         # Deterministic merge: flatten in chunk-submission order.
         return [result for index in sorted(merged)
                 for result in merged[index]]
+
+
+class DistributedTaskStrategy(TaskExecutionStrategy):
+    """Ship whole search tasks — the paper's cluster unit — through a broker.
+
+    The distributed counterpart of :class:`~repro.parallel.runner.
+    ParallelTaskStrategy`: each :class:`~repro.core.tasks.SearchTask`
+    becomes one broker task, workers run it under the manifest's per-task
+    caps (taken from the coordinating :class:`~repro.core.tasks.
+    TaskRunner`), and the merged :class:`TaskResult` list is returned in
+    submission order — identical, timing fields aside, to
+    :class:`~repro.core.tasks.SerialTaskStrategy` over the same tasks.
+    """
+
+    name = "distributed"
+
+    def __init__(self, query_spec: QuerySpec,
+                 config: Optional[DistributedConfig] = None) -> None:
+        self.query_spec = query_spec
+        self.config = config or DistributedConfig()
+        self.cache_statistics: Optional[CacheStatistics] = None
+        self.requeued_tasks: List[int] = []
+
+    def run(self, runner: TaskRunner, tasks: Sequence[SearchTask],
+            query: SearchQuery,
+            progress: Optional[Callable[[int, int, TaskResult], None]] = None,
+            ) -> List[TaskResult]:
+        _check_query_consistency(query, self.query_spec)
+        self.cache_statistics = None
+        self.requeued_tasks = []
+        tasks = list(tasks)
+        if not tasks:
+            self.cache_statistics = CacheStatistics()
+            return []
+
+        merged_count = 0
+
+        def on_merged(index: int, result: TaskResult) -> None:
+            nonlocal merged_count
+            merged_count += 1
+            if progress is not None:
+                progress(merged_count, len(tasks), result)
+
+        coordinator = _BrokerCoordinator(self.config)
+        merged = coordinator.run(runner.campaign, self.query_spec, tasks,
+                                 TaskSpec.from_runner(runner),
+                                 on_merged=on_merged)
+        self.requeued_tasks = coordinator.requeued_tasks
+        self.cache_statistics = coordinator.cache_statistics()
+        return [merged[index] for index in sorted(merged)]
 
 
 def run_campaign_distributed(campaign: SymbolicCampaign,
@@ -334,3 +451,19 @@ def run_campaign_distributed(campaign: SymbolicCampaign,
     strategy = DistributedExecutionStrategy(query_spec, config)
     return campaign.run(query, injections=injections, progress=progress,
                         strategy=strategy)
+
+
+def run_tasks_distributed(runner: TaskRunner, tasks: Sequence[SearchTask],
+                          query_spec: QuerySpec,
+                          config: Optional[DistributedConfig] = None,
+                          progress: Optional[Callable[[int, int, TaskResult],
+                                                      None]] = None,
+                          ) -> TaskCampaignReport:
+    """Run decomposed search tasks through a broker (the paper's cluster).
+
+    Mirrors :func:`~repro.parallel.runner.run_tasks_parallel` for the
+    distributed backend.
+    """
+    query = query_spec.build()
+    strategy = DistributedTaskStrategy(query_spec, config)
+    return runner.run(tasks, query, progress=progress, strategy=strategy)

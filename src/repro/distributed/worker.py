@@ -1,16 +1,25 @@
-"""The standalone campaign worker (``repro worker --queue DIR``).
+"""The standalone campaign worker (``repro worker --queue DIR|tcp://…``).
 
 A worker is the distributed counterpart of one pool process: it loads the
 campaign manifest from the broker, rebuilds the campaign, query and cache
 once with the existing :mod:`repro.parallel.worker` machinery, then claims
-and executes injection chunks until the queue is drained.  Between
-injections it renews the lease on its claim so the coordinator can tell a
-slow worker from a dead one.
+and executes work units until the queue is drained.  A unit is either an
+injection chunk (the coordinator's default) or a whole
+:class:`~repro.core.tasks.SearchTask` with the manifest's per-task caps —
+the worker dispatches on the claimed payload, so one worker fleet serves
+both campaign granularities.  Between work units it renews the lease on its
+claim so the coordinator can tell a slow worker from a dead one.
 
 Workers are stateless and interchangeable: any number can be pointed at the
-same queue directory, from any machine sharing it, started before or after
-the coordinator.  Exit conditions: the queue is drained (normal), or
-nothing has been claimable for ``max_idle_seconds`` (stale queue guard).
+same queue — a shared directory or a ``tcp://`` broker — from any machine,
+started before or after the coordinator.  Exit conditions: a queue this
+worker saw live is drained (normal — a queue *already* drained at attach
+time is a previous campaign's leftover, and the worker waits for the next
+reset instead), nothing has been claimable for ``max_idle_seconds``
+(stale queue guard), or a stop was requested (e.g. ``SIGTERM``) — in which
+case the worker finishes the unit it is executing, publishes its result,
+releases any still-unstarted claim, and exits cleanly instead of stranding
+a lease until expiry.
 """
 
 from __future__ import annotations
@@ -23,14 +32,18 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
-from ..parallel.worker import initialize_worker, run_injection_chunk
-from .broker import ClaimedTask, FilesystemBroker
+from ..core.tasks import SearchTask
+from ..parallel.worker import (initialize_worker, run_injection_chunk,
+                               run_search_task)
+from .backoff import Backoff
+from .broker import Broker, ClaimedTask, open_broker
 
 
 @dataclass
 class WorkerConfig:
     """Tunables of one standalone worker."""
 
+    #: Queue locator: a shared directory, or ``tcp://host:port``.
     queue_dir: str
     poll_interval: float = 0.1
     #: Give up when nothing was claimable for this long (None = wait forever).
@@ -46,7 +59,7 @@ class WorkerConfig:
 
 
 @contextlib.contextmanager
-def _lease_renewal(broker: FilesystemBroker, claim: ClaimedTask,
+def _lease_renewal(broker: Broker, claim: ClaimedTask,
                    lease_seconds: float) -> Iterator[None]:
     """Refresh the claim's lease from a background thread while it runs.
 
@@ -72,33 +85,95 @@ def _lease_renewal(broker: FilesystemBroker, claim: ClaimedTask,
         thread.join()
 
 
-def run_worker(config: WorkerConfig,
-               on_task: Optional[Callable[[int, int], None]] = None) -> int:
-    """Drain tasks from the queue; return the number of chunks executed.
+def _await_manifest(broker: Broker, config: WorkerConfig,
+                    stopping: Callable[[], bool]):
+    """Wait for a campaign manifest, honouring stop requests and backoff.
 
-    *on_task* is called as ``on_task(index, injections)`` after each
-    completed chunk (the CLI uses it for progress reporting).
+    Returns None when a stop was requested first; raises
+    :class:`TimeoutError` when ``manifest_timeout`` elapses without one.
+    """
+    deadline = (None if config.manifest_timeout is None
+                else time.monotonic() + config.manifest_timeout)
+    wait = Backoff(config.poll_interval)
+    while not stopping():
+        try:
+            return broker.load_manifest(timeout=0)
+        except TimeoutError:
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no campaign manifest appeared at {config.queue_dir!r}"
+                ) from None
+            wait.sleep()
+    return None
+
+
+def _execute(claim: ClaimedTask):
+    """Run one claimed work unit, dispatching on its payload shape.
+
+    Whole search tasks ship as :class:`SearchTask` payloads and return one
+    :class:`~repro.core.tasks.TaskResult`; injection chunks ship as plain
+    injection tuples and return the chunk's result list.  Both come back as
+    ``(index, body, cache snapshot)``.
+    """
+    if isinstance(claim.payload, SearchTask):
+        return run_search_task((claim.index, claim.payload))
+    return run_injection_chunk((claim.index, claim.payload))
+
+
+def run_worker(config: WorkerConfig,
+               on_task: Optional[Callable[[int, int], None]] = None,
+               should_stop: Optional[Callable[[], bool]] = None) -> int:
+    """Drain tasks from the queue; return the number of work units executed.
+
+    *on_task* is called as ``on_task(index, size)`` after each completed
+    unit (the CLI uses it for progress reporting).  *should_stop* is polled
+    between units — and once more between claiming and executing — so a
+    signal handler can request a graceful exit: the current unit always
+    finishes and publishes, an unstarted claim is released back to the
+    queue, and no lease is left to expire.
     """
     # Standalone workers are each their own MainProcess; give the process a
     # unique name so per-worker cache snapshots aggregate correctly (the
     # pool's snapshot machinery keys counters by process name).
     multiprocessing.current_process().name = f"repro-worker-{os.getpid()}"
-    broker = FilesystemBroker(config.queue_dir,
-                              lease_seconds=config.lease_seconds)
-    manifest = broker.load_manifest(timeout=config.manifest_timeout,
-                                    poll_interval=config.poll_interval)
-    initialize_worker(manifest.campaign_spec, manifest.query_spec,
-                      cache_spec=manifest.cache_spec)
+    stopping = should_stop or (lambda: False)
+    broker = open_broker(config.queue_dir,
+                         lease_seconds=config.lease_seconds)
+    manifest = _await_manifest(broker, config, stopping)
+    if manifest is None:
+        return 0  # stopped while waiting for a campaign to appear
+
+    def initialize(manifest) -> None:
+        initialize_worker(manifest.campaign_spec, manifest.query_spec,
+                          max_errors_per_task=manifest.task_spec
+                          .max_errors_per_task,
+                          wall_clock_per_task=manifest.task_spec
+                          .wall_clock_per_task,
+                          cache_spec=manifest.cache_spec)
+
+    initialize(manifest)
+
     def result_is_ours(payload: object) -> bool:
         return payload and payload[0] == manifest.campaign_id
 
     executed = 0
     idle_since = time.monotonic()
-    while True:
+    idle = Backoff(config.poll_interval)
+    # Only a drain this worker saw happen is an exit signal.  A queue that
+    # is *already* drained at attach time is a previous campaign's leftover
+    # state (brokers serve one campaign at a time, and the next coordinator
+    # resets before enqueueing): exiting on it would strand the upcoming
+    # campaign without workers, so wait for the reset instead — bounded by
+    # ``max_idle_seconds`` like any other idle wait.
+    saw_live_queue = False
+    while not stopping():
         claim = broker.claim_next(result_valid=result_is_ours)
         if claim is None:
             if broker.is_drained():
-                break
+                if saw_live_queue:
+                    break
+            else:
+                saw_live_queue = True
             # Recovery is decentralised: idle workers also return orphaned
             # claims to the queue, so the run finishes even if the
             # coordinator (the other requeuer) is gone.
@@ -106,9 +181,16 @@ def run_worker(config: WorkerConfig,
             if (config.max_idle_seconds is not None
                     and time.monotonic() - idle_since > config.max_idle_seconds):
                 break
-            time.sleep(config.poll_interval)
+            idle.sleep()
             continue
+        idle.reset()
         idle_since = time.monotonic()
+        saw_live_queue = True
+        if stopping():
+            # The stop request raced our claim and nothing ran yet: hand
+            # the task straight back instead of stranding it under a lease.
+            broker.release(claim)
+            break
         # Revalidate the manifest before executing: a coordinator may have
         # reset this queue directory and published a new campaign while we
         # idled (e.g. the previous coordinator was killed).  Executing the
@@ -121,17 +203,15 @@ def run_worker(config: WorkerConfig,
             break  # the queue was dissolved under us
         if current.campaign_id != manifest.campaign_id:
             manifest = current
-            initialize_worker(manifest.campaign_spec, manifest.query_spec,
-                              cache_spec=manifest.cache_spec)
+            initialize(manifest)
         with _lease_renewal(broker, claim, config.lease_seconds):
-            index, results, snapshot = run_injection_chunk(
-                (claim.index, claim.payload))
+            index, body, snapshot = _execute(claim)
         # Results are tagged with the manifest's campaign id so a
         # coordinator reusing this queue directory can reject stragglers
         # from a previous campaign.
-        broker.complete(claim, (manifest.campaign_id, index, results,
-                                snapshot))
+        broker.complete(claim, (manifest.campaign_id, index, body, snapshot))
         executed += 1
         if on_task is not None:
-            on_task(index, len(results))
+            size = len(body) if isinstance(body, list) else len(body.results)
+            on_task(index, size)
     return executed

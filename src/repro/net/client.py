@@ -1,0 +1,244 @@
+"""The socket-backed :class:`~repro.distributed.broker.Broker` client.
+
+:class:`SocketBroker` speaks the framed protocol of :mod:`repro.net.framing`
+to a :class:`~repro.net.server.BrokerServer` and implements the exact
+contract of :class:`~repro.distributed.broker.FilesystemBroker`, so the
+coordinator, the standalone worker loop and the whole-task strategy run
+unchanged over TCP — ``--queue tcp://host:port`` instead of ``--queue DIR``.
+
+Connection handling is deliberately simple: one persistent connection,
+re-opened transparently when a call fails mid-flight.  Every operation is
+safe to retry — the worst case is a ``claim`` whose response is lost on the
+wire, which strands a server-side lease that expires and requeues like any
+dead worker's claim.  Task and result payloads travel as pickle blobs the
+server never interprets; corrupt payloads are detected on this side and the
+offending task is settled away so the claim loop keeps making progress.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import time
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..distributed.broker import Broker, CampaignManifest, ClaimedTask
+from .framing import (ProtocolError, TruncatedFrame, recv_message,
+                      send_message)
+
+
+class BrokerConnectionError(ConnectionError):
+    """The broker server could not be reached (after retries)."""
+
+
+class BrokerOperationError(RuntimeError):
+    """The broker server rejected or failed an operation."""
+
+
+def parse_queue_url(url: str) -> Tuple[str, int]:
+    """Parse a ``tcp://host:port`` queue URL into (host, port)."""
+    if not url.startswith("tcp://"):
+        raise ValueError(f"not a tcp:// queue URL: {url!r}")
+    rest = url[len("tcp://"):].rstrip("/")
+    host, separator, port_text = rest.rpartition(":")
+    if not separator or not port_text.isdigit():
+        raise ValueError(f"expected tcp://HOST:PORT, got {url!r}")
+    return host, int(port_text)
+
+
+class SocketBroker(Broker):
+    """A :class:`Broker` over one TCP connection (see the module docstring).
+
+    *claim tokens* ride in :attr:`ClaimedTask.claim_path` — the field the
+    filesystem broker uses for the claim file path — so the claimed-task
+    handle stays backend-agnostic.
+    """
+
+    def __init__(self, url: str, lease_seconds: float = 60.0,
+                 timeout: float = 60.0, connect_retries: int = 4) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be positive, got {lease_seconds}")
+        self.url = url
+        self.host, self.port = parse_queue_url(url)
+        self.lease_seconds = lease_seconds
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------- transport
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "SocketBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, header: dict, blobs: Sequence[bytes] = (),
+              ) -> Tuple[dict, List[bytes]]:
+        """One request/response round-trip, reconnecting on failure.
+
+        Retries use a short linear backoff so a worker that races the
+        broker's startup (or rides out its restart) attaches as soon as the
+        port listens instead of dying on the first refused connection.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                time.sleep(min(2.0, 0.1 * (2 ** (attempt - 1))))
+            try:
+                sock = self._connect()
+                send_message(sock, header, blobs)
+                message = recv_message(sock)
+            except ProtocolError as exc:
+                # ProtocolError must precede OSError here (it is one): a
+                # torn frame is plausibly transient — broker restart,
+                # network blip — and falls through to the retry, but any
+                # other framing failure is a deterministically malformed
+                # response that no amount of retrying can fix.
+                self.close()
+                if not isinstance(exc, TruncatedFrame):
+                    raise BrokerOperationError(
+                        f"broker at {self.url} sent an invalid response to "
+                        f"{header.get('op')!r}: {exc}") from exc
+                last_error = exc
+                continue
+            except OSError as exc:
+                self.close()
+                last_error = exc
+                continue
+            assert message is not None
+            response, response_blobs = message
+            if "error" in response:
+                raise BrokerOperationError(
+                    f"broker rejected {header.get('op')!r}: {response['error']}")
+            return response, response_blobs
+        raise BrokerConnectionError(
+            f"broker at {self.url} unreachable: {last_error}") from last_error
+
+    @staticmethod
+    def _dumps(payload: object) -> bytes:
+        return pickle.dumps(payload, protocol=4)
+
+    # -------------------------------------------------------- coordinator side
+
+    def publish_manifest(self, manifest: CampaignManifest) -> None:
+        self._call({"op": "publish_manifest"}, [self._dumps(manifest)])
+
+    def reset(self) -> None:
+        self._call({"op": "reset"})
+
+    def put_task(self, index: int, payload: object) -> None:
+        self._call({"op": "put_task", "index": index},
+                   [self._dumps(payload)])
+
+    def close_queue(self, total_tasks: int) -> None:
+        self._call({"op": "close_queue", "total": total_tasks})
+
+    def total_tasks(self) -> Optional[int]:
+        response, _ = self._call({"op": "stats"})
+        return response["total"]
+
+    def fetch_new_results(self, seen: Set[int]) -> List[Tuple[int, object]]:
+        response, blobs = self._call({"op": "results", "seen": sorted(seen)})
+        return [(index, pickle.loads(blob))
+                for index, blob in zip(response["indexes"], blobs)]
+
+    def discard_result(self, index: int) -> None:
+        self._call({"op": "discard_result", "index": index})
+
+    def requeue_expired(self) -> List[int]:
+        response, _ = self._call({"op": "requeue_expired"})
+        return response["indexes"]
+
+    # ------------------------------------------------------------- worker side
+
+    def load_manifest(self, timeout: Optional[float] = None,
+                      poll_interval: float = 0.1) -> CampaignManifest:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            response, blobs = self._call({"op": "manifest"})
+            if response["present"]:
+                return pickle.loads(blobs[0])
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no campaign manifest published at {self.url}")
+            time.sleep(poll_interval)
+
+    def claim_next(self, result_valid: Optional[Callable[[object], bool]]
+                   = None) -> Optional[ClaimedTask]:
+        while True:
+            response, blobs = self._call(
+                {"op": "claim", "validate": result_valid is not None,
+                 "lease": self.lease_seconds})
+            status = response["status"]
+            if status == "empty":
+                return None
+            index, token = response["index"], response["token"]
+            try:
+                payload = pickle.loads(blobs[0])
+            except Exception:
+                # A torn/corrupt task payload: settle it away (quarantine)
+                # so the claim loop keeps making progress on intact tasks.
+                self._call({"op": "settle", "index": index, "token": token})
+                continue
+            if status == "conflict":
+                # The index already has a result; honour the caller's
+                # validator exactly like the filesystem claim loop does.
+                settled = True
+                try:
+                    settled = bool(result_valid(pickle.loads(blobs[1])))
+                except Exception:
+                    settled = False  # unreadable result cannot settle a task
+                if settled:
+                    self._call({"op": "settle", "index": index,
+                                "token": token})
+                    continue
+            return ClaimedTask(index=index, payload=payload, claim_path=token)
+
+    def renew_lease(self, claim: ClaimedTask) -> None:
+        self._call({"op": "renew", "index": claim.index,
+                    "token": claim.claim_path, "lease": self.lease_seconds})
+
+    def release(self, claim: ClaimedTask) -> None:
+        self._call({"op": "release", "index": claim.index,
+                    "token": claim.claim_path})
+
+    def complete(self, claim: ClaimedTask, result_payload: object) -> None:
+        self._call({"op": "complete", "index": claim.index,
+                    "token": claim.claim_path},
+                   [self._dumps(result_payload)])
+
+    # ----------------------------------------------------------------- queries
+
+    def _stats(self) -> dict:
+        response, _ = self._call({"op": "stats"})
+        return response
+
+    def pending_count(self) -> int:
+        return self._stats()["pending"]
+
+    def claimed_count(self) -> int:
+        return self._stats()["claimed"]
+
+    def results_count(self) -> int:
+        return self._stats()["results"]
+
+    def is_drained(self) -> bool:
+        stats = self._stats()
+        return stats["total"] is not None and stats["results"] >= stats["total"]

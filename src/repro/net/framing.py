@@ -1,0 +1,118 @@
+"""Length-prefixed message framing for the TCP broker protocol.
+
+A message is a JSON *header* followed by zero or more opaque binary *blobs*:
+
+    [4-byte big-endian header length][header JSON, utf-8]
+    [4-byte big-endian blob length][blob bytes]            × header["blobs"]
+
+The header carries the operation and its scalar arguments (indexes, tokens,
+counts) in JSON so the wire format is inspectable and language-neutral; the
+blobs carry pickled campaign objects (manifests, task payloads, results) the
+broker server never needs to interpret — it stores and forwards bytes.
+Keeping pickle out of the server is deliberate: the server can run on a host
+without the ``repro`` package's workload modules, and a malformed client
+cannot make the server unpickle anything.
+
+Truncated or oversized frames raise :class:`ProtocolError`; a clean EOF at a
+message boundary is reported as ``None`` by :func:`recv_message` so servers
+can tell an orderly disconnect from a torn frame.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+#: Hard cap on any single frame; a length prefix beyond this is garbage
+#: (or an attack), not a campaign payload.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Hard cap on blobs per message.  Senders batching an unbounded set (the
+#: server's results op) must slice to this; the receiver rejects beyond it.
+MAX_BLOBS = 64
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ConnectionError):
+    """The peer sent a frame that is not valid broker protocol."""
+
+
+class TruncatedFrame(ProtocolError):
+    """The connection died mid-frame (peer crash or network loss).
+
+    Distinct from other :class:`ProtocolError`\\ s because it is the one
+    framing failure that is plausibly transient: a client may retry it on a
+    fresh connection, whereas a malformed header or blob count is
+    deterministic and retrying cannot help.
+    """
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                allow_eof: bool = False) -> Optional[bytes]:
+    """Read exactly *count* bytes, or None on a clean EOF before byte one."""
+    chunks: List[bytes] = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(min(65536, count - received))
+        if not chunk:
+            if allow_eof and received == 0:
+                return None
+            raise TruncatedFrame(
+                f"connection closed mid-frame ({received}/{count} bytes)")
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_chunk(sock: socket.socket,
+                allow_eof: bool = False) -> Optional[bytes]:
+    prefix = _recv_exact(sock, _LENGTH.size, allow_eof=allow_eof)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte cap")
+    return _recv_exact(sock, length) if length else b""
+
+
+def send_message(sock: socket.socket, header: dict,
+                 blobs: Sequence[bytes] = ()) -> None:
+    """Send one framed message (header JSON plus its binary blobs)."""
+    header = dict(header)
+    header["blobs"] = len(blobs)
+    encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [_LENGTH.pack(len(encoded)), encoded]
+    for blob in blobs:
+        parts.append(_LENGTH.pack(len(blob)))
+        parts.append(blob)
+    sock.sendall(b"".join(parts))
+
+
+def recv_message(sock: socket.socket,
+                 allow_eof: bool = False,
+                 ) -> Optional[Tuple[dict, List[bytes]]]:
+    """Receive one framed message; None on clean EOF (if *allow_eof*)."""
+    raw = _recv_chunk(sock, allow_eof=allow_eof)
+    if raw is None:
+        return None
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable message header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(f"message header must be an object, "
+                            f"got {type(header).__name__}")
+    blob_count = header.pop("blobs", 0)
+    if (not isinstance(blob_count, int) or blob_count < 0
+            or blob_count > MAX_BLOBS):
+        raise ProtocolError(f"invalid blob count {blob_count!r}")
+    blobs = []
+    for _ in range(blob_count):
+        blob = _recv_chunk(sock)
+        assert blob is not None  # only the first chunk may report EOF
+        blobs.append(blob)
+    return header, blobs

@@ -1,0 +1,290 @@
+"""The TCP broker server (``repro broker --listen HOST:PORT``).
+
+The server is the network twin of the shared queue directory: it holds one
+campaign's manifest, pending tasks, claims and results in memory and exposes
+the :class:`~repro.distributed.broker.Broker` operations over the framed
+protocol of :mod:`repro.net.framing`.  Payloads are stored and returned as
+opaque byte strings — the server never unpickles anything, so it can run
+standalone on a host that shares nothing with the coordinator but a port.
+
+Semantics mirror :class:`~repro.distributed.broker.FilesystemBroker`
+operation for operation:
+
+* a claim hands out the lowest pending index exactly once and starts a
+  lease; leases are renewed by token and expire on the server's monotonic
+  clock, returning the task to the pending queue;
+* completion is idempotent — duplicate completions of a requeued task
+  overwrite the result with byte-identical payloads and drop any live claim;
+* a pending task whose index already has a result is *settled* (dropped)
+  unless the claiming worker wants to validate the result itself, in which
+  case the server answers ``conflict`` with both payloads and lets the
+  worker either settle the claim or keep it.
+
+Connections are served by one thread each, bounded by an idle timeout;
+protocol errors close the connection without touching queue state, so a
+half-written frame from a dying worker can never corrupt the campaign.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .framing import MAX_BLOBS, ProtocolError, recv_message, send_message
+
+_TOKEN_LOCK = threading.Lock()
+_TOKEN_COUNTER = [0]
+
+
+def _new_token() -> str:
+    with _TOKEN_LOCK:
+        _TOKEN_COUNTER[0] += 1
+        return f"claim-{_TOKEN_COUNTER[0]:08d}"
+
+
+class _Claim:
+    """A leased task held server-side: its payload, owner token, deadline."""
+
+    __slots__ = ("payload", "token", "deadline")
+
+    def __init__(self, payload: bytes, token: str, deadline: float) -> None:
+        self.payload = payload
+        self.token = token
+        self.deadline = deadline
+
+
+class _BrokerState:
+    """One campaign's queue state; every method runs under the single lock."""
+
+    def __init__(self, lease_seconds: float) -> None:
+        self.lock = threading.Lock()
+        self.default_lease = lease_seconds
+        self.manifest: Optional[bytes] = None
+        self.pending: Dict[int, bytes] = {}
+        self.claimed: Dict[int, _Claim] = {}
+        self.results: Dict[int, bytes] = {}
+        self.total: Optional[int] = None
+
+    # Callers hold self.lock for everything below.
+
+    def requeue_expired(self, now: float) -> List[int]:
+        expired = [index for index, claim in self.claimed.items()
+                   if now > claim.deadline]
+        for index in expired:
+            self.pending[index] = self.claimed.pop(index).payload
+        return sorted(expired)
+
+    def claim(self, validate: bool, lease: float,
+              now: float) -> Tuple[dict, List[bytes]]:
+        self.requeue_expired(now)
+        for index in sorted(self.pending):
+            result = self.results.get(index)
+            if result is not None and not validate:
+                # A slow twin already delivered this task's result (requeue
+                # race); drop the stale queue entry instead of re-running it.
+                del self.pending[index]
+                continue
+            claim = _Claim(self.pending.pop(index), _new_token(), now + lease)
+            self.claimed[index] = claim
+            if result is not None:
+                return ({"status": "conflict", "index": index,
+                         "token": claim.token}, [claim.payload, result])
+            return ({"status": "task", "index": index,
+                     "token": claim.token}, [claim.payload])
+        return ({"status": "empty"}, [])
+
+    def drop_claim(self, index: int, token: str,
+                   requeue: bool) -> bool:
+        claim = self.claimed.get(index)
+        if claim is None or claim.token != token:
+            return False  # expired and requeued (or re-claimed): no-op
+        del self.claimed[index]
+        if requeue:
+            self.pending[index] = claim.payload
+        return True
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection: a loop of (request message, response message)."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised over TCP
+        server: BrokerServer = self.server.broker  # type: ignore[attr-defined]
+        self.request.settimeout(server.connection_timeout)
+        try:
+            while True:
+                message = recv_message(self.request, allow_eof=True)
+                if message is None:
+                    return  # orderly disconnect
+                header, blobs = message
+                try:
+                    response, out_blobs = server.dispatch(header, blobs)
+                except ProtocolError:
+                    raise
+                except Exception as exc:  # surface op failures to the client
+                    response, out_blobs = {"error": f"{type(exc).__name__}: "
+                                                    f"{exc}"}, []
+                send_message(self.request, response, out_blobs)
+        except (ProtocolError, socket.timeout, OSError):
+            return  # drop the connection; queue state is untouched
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class BrokerServer:
+    """A standalone TCP broker for one campaign queue.
+
+    Start it programmatically (``start()``/``stop()``, used by tests and by
+    coordinators that own their broker) or serve it in the foreground from
+    the CLI via :meth:`serve_forever`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 lease_seconds: float = 60.0,
+                 connection_timeout: float = 600.0) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be positive, got {lease_seconds}")
+        self.connection_timeout = connection_timeout
+        self.state = _BrokerState(lease_seconds)
+        self._server = _Server((host, port), _Handler)
+        self._server.broker = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"tcp://{host}:{port}"
+
+    def start(self) -> "BrokerServer":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="broker-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def request_stop(self) -> None:
+        """Flag the serving loop to exit; returns immediately.
+
+        ``socketserver.shutdown()`` blocks until the loop drains — which
+        would deadlock a signal handler running on the serving thread — so
+        the blocking call is handed to a helper thread.
+        """
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        """Release the listening socket (after the serving loop exited)."""
+        self._server.server_close()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self.close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "BrokerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # --------------------------------------------------------------- dispatch
+
+    def dispatch(self, header: dict, blobs: List[bytes],
+                 ) -> Tuple[dict, List[bytes]]:
+        """Execute one operation against the queue state."""
+        op = header.get("op")
+        state = self.state
+        now = time.monotonic()
+        with state.lock:
+            if op == "ping":
+                return {"ok": True}, []
+            if op == "publish_manifest":
+                state.manifest = blobs[0]
+                return {"ok": True}, []
+            if op == "manifest":
+                if state.manifest is None:
+                    return {"present": False}, []
+                return {"present": True}, [state.manifest]
+            if op == "put_task":
+                state.pending[int(header["index"])] = blobs[0]
+                return {"ok": True}, []
+            if op == "close_queue":
+                state.total = int(header["total"])
+                return {"ok": True}, []
+            if op == "stats":
+                return {"pending": len(state.pending),
+                        "claimed": len(state.claimed),
+                        "results": len(state.results),
+                        "total": state.total}, []
+            if op == "claim":
+                lease = float(header.get("lease") or state.default_lease)
+                return state.claim(bool(header.get("validate")), lease, now)
+            if op == "renew":
+                claim = state.claimed.get(int(header["index"]))
+                held = claim is not None and claim.token == header["token"]
+                if held:
+                    lease = float(header.get("lease") or state.default_lease)
+                    claim.deadline = now + lease
+                return {"held": held}, []
+            if op == "settle":
+                state.drop_claim(int(header["index"]), header["token"],
+                                 requeue=False)
+                return {"ok": True}, []
+            if op == "release":
+                released = state.drop_claim(int(header["index"]),
+                                            header["token"], requeue=True)
+                return {"released": released}, []
+            if op == "complete":
+                index = int(header["index"])
+                state.results[index] = blobs[0]
+                # Mirror the filesystem broker: completion always clears the
+                # live claim for the index, whichever twin holds it.
+                state.claimed.pop(index, None)
+                return {"ok": True}, []
+            if op == "results":
+                # Batched to the framing blob cap: a fast fleet can finish
+                # more tasks between coordinator polls than one message may
+                # carry, so the client drains the remainder on its next
+                # fetch (the coordinator refetches immediately while fresh
+                # results keep arriving).
+                seen = set(header.get("seen", ()))
+                fresh = sorted(index for index in state.results
+                               if index not in seen)[:MAX_BLOBS]
+                return ({"indexes": fresh},
+                        [state.results[index] for index in fresh])
+            if op == "discard_result":
+                state.results.pop(int(header["index"]), None)
+                return {"ok": True}, []
+            if op == "requeue_expired":
+                return {"indexes": state.requeue_expired(now)}, []
+            if op == "reset":
+                state.manifest = None
+                state.pending.clear()
+                state.claimed.clear()
+                state.results.clear()
+                state.total = None
+                return {"ok": True}, []
+        raise ProtocolError(f"unknown operation {op!r}")
+
+
+def parse_listen_address(text: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` listen spec (HOST optional, defaults loopback)."""
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not port_text.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host or "127.0.0.1", int(port_text)

@@ -14,10 +14,10 @@ Public surface:
 from .runner import (ParallelConfig, ParallelExecutionStrategy,
                      ParallelTaskStrategy, run_campaign_parallel,
                      run_tasks_parallel)
-from .spec import CacheSpec, CampaignSpec, QuerySpec
+from .spec import CacheSpec, CampaignSpec, QuerySpec, TaskSpec
 
 __all__ = [
     "CacheSpec", "CampaignSpec", "ParallelConfig",
     "ParallelExecutionStrategy", "ParallelTaskStrategy", "QuerySpec",
-    "run_campaign_parallel", "run_tasks_parallel",
+    "TaskSpec", "run_campaign_parallel", "run_tasks_parallel",
 ]

@@ -64,6 +64,36 @@ class CacheSpec:
 
 
 @dataclass(frozen=True)
+class TaskSpec:
+    """A picklable recipe for the worker-side task runner's caps.
+
+    Whole search tasks (paper Section 6.1: at most 10 errors, at most 30
+    minutes each) execute inside workers, so the caps must travel with the
+    campaign manifest; a worker rebuilds its
+    :class:`~repro.core.tasks.TaskRunner` from this spec and honours the
+    same caps the coordinator's runner would.
+    """
+
+    max_errors_per_task: int = 10
+    wall_clock_per_task: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_errors_per_task < 1:
+            raise ValueError(f"max_errors_per_task must be >= 1, "
+                             f"got {self.max_errors_per_task}")
+        if (self.wall_clock_per_task is not None
+                and self.wall_clock_per_task <= 0):
+            raise ValueError(f"wall_clock_per_task must be positive, "
+                             f"got {self.wall_clock_per_task}")
+
+    @classmethod
+    def from_runner(cls, runner) -> "TaskSpec":
+        """Snapshot a :class:`~repro.core.tasks.TaskRunner`'s caps."""
+        return cls(max_errors_per_task=runner.max_errors_per_task,
+                   wall_clock_per_task=runner.wall_clock_per_task)
+
+
+@dataclass(frozen=True)
 class QuerySpec:
     """A picklable recipe for a :class:`SearchQuery`.
 

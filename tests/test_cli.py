@@ -163,6 +163,11 @@ class TestAnalyzeValidation:
             main(["analyze", "--workload", "factorial", "--workers", "-1"])
         assert "must be >= 0" in capsys.readouterr().err
 
+    def test_task_granularity_requires_a_task_backend(self):
+        with pytest.raises(SystemExit, match="granularity"):
+            main(["analyze", "--workload", "factorial",
+                  "--granularity", "task"])
+
 
 class TestAnalyzeBackends:
     def test_explicit_pool_backend_matches_serial(self, capsys):
@@ -177,6 +182,14 @@ class TestAnalyzeBackends:
                                      "--workers", "2")
         assert "backend        : distributed" in distributed
         assert normalized(serial) == normalized(distributed)
+
+    def test_task_granularity_on_the_pool_matches_serial(self, capsys):
+        """Whole search tasks through the pool's task strategy must flatten
+        back into the identical per-injection campaign output."""
+        serial = analyze_output(capsys)
+        tasked = analyze_output(capsys, "--backend", "pool", "--workers", "2",
+                                "--granularity", "task")
+        assert normalized(serial) == normalized(tasked)
 
     def test_checkpoint_then_resume_completes_identically(self, tmp_path,
                                                           capsys):

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core import (SymbolicCampaign, TaskRunner,
-                        decompose_by_code_section, decompose_by_injection,
-                        output_contains_err, printed_value_other_than,
-                        witnesses_from_campaign)
+from repro.core import (SerialTaskStrategy, SymbolicCampaign, TaskRunner,
+                        TaskSweepStrategy, decompose_by_code_section,
+                        decompose_by_injection, output_contains_err,
+                        printed_value_other_than, witnesses_from_campaign)
 from repro.errors import Injection
 from repro.constraints import Location
 from repro.machine import ExecutionConfig
@@ -151,6 +151,56 @@ class TestTaskDecomposition:
         assert result.injections_run == 0
         assert result.total_solutions == 0
         assert result.solutions() == []
+
+
+class TestTaskSweepStrategy:
+    """The adapter that runs an injection sweep as whole search tasks."""
+
+    def sweep_fixture(self, max_injections=8):
+        workload = factorial_workload()
+        campaign = make_campaign(workload, max_solutions_per_injection=10,
+                                 max_states_per_injection=10_000)
+        injections = campaign.enumerate_injections()[:max_injections]
+        return campaign, injections
+
+    @staticmethod
+    def keys(results):
+        return [(r.injection.label(), r.activated, r.completed,
+                 [s.state.output_values() for s in r.solutions])
+                for r in results]
+
+    def test_sweep_through_tasks_matches_direct_sweep(self):
+        campaign, injections = self.sweep_fixture()
+        query = output_contains_err()
+        direct = campaign.run(query, injections=injections)
+        swept = campaign.run(
+            query, injections=injections,
+            strategy=TaskSweepStrategy(SerialTaskStrategy(), chunk_size=3))
+        assert self.keys(swept.results) == self.keys(direct.results)
+        assert swept.injections_run == direct.injections_run
+
+    def test_results_are_emitted_incrementally_per_task(self):
+        campaign, injections = self.sweep_fixture(max_injections=6)
+        strategy = TaskSweepStrategy(SerialTaskStrategy(), chunk_size=2)
+        emitted = []
+        strategy.result_sink = lambda injection, result: \
+            emitted.append(injection.label())
+        progress = []
+        campaign.run(output_contains_err(), injections=injections,
+                     progress=lambda done, total, last:
+                     progress.append((done, total)),
+                     strategy=strategy)
+        assert emitted == [i.label() for i in injections]
+        assert progress == [(2, 6), (4, 6), (6, 6)]
+
+    def test_empty_sweep(self):
+        campaign, _ = self.sweep_fixture()
+        strategy = TaskSweepStrategy(SerialTaskStrategy())
+        assert strategy.run(campaign, [], output_contains_err()) == []
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            TaskSweepStrategy(SerialTaskStrategy(), chunk_size=0)
 
 
 class TestTaskRunner:
