@@ -29,6 +29,7 @@ from .core import SymbolicCampaign, witnesses_from_campaign
 from .core.campaign import SerialExecutionStrategy
 from .detectors import DetectorSet, EMPTY_DETECTORS
 from .errors import STANDARD_ERROR_CLASSES, error_class
+from .faults import FAULT_MODELS, fault_model
 from .frontend import generate_query, translate_mips
 from .isa import assemble
 from .lang import compile_source
@@ -144,13 +145,26 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze = subparsers.add_parser(
         "analyze", help="symbolic fault-injection campaign (the SymPLFIED analysis)")
     _add_common_arguments(analyze)
-    analyze.add_argument("--error-class", default="register",
+    analyze.add_argument("--error-class", default=None,
                          choices=sorted(STANDARD_ERROR_CLASSES),
-                         help="hardware error class to sweep")
+                         help="legacy hardware error class to sweep "
+                              "(default: register; mutually exclusive with "
+                              "--fault-model)")
+    analyze.add_argument("--fault-model", default=None,
+                         choices=sorted(FAULT_MODELS),
+                         help="pluggable fault model planning the sweep "
+                              "(repro.faults); combine with --sample/--seed "
+                              "to sweep a deterministic subset of its space")
+    analyze.add_argument("--sample", type=_positive_int, default=None,
+                         help="sweep a deterministic sample of this many "
+                              "injections instead of the full space")
+    analyze.add_argument("--seed", type=int, default=None,
+                         help="seed for --sample (default: 0; the same seed "
+                              "always picks the same injections)")
     analyze.add_argument("--query", default="undetected-failure",
                          choices=("err-output", "incorrect-output",
                                   "wrong-final-value", "crash", "hang",
-                                  "undetected-failure"),
+                                  "undetected-failure", "latent-err"),
                          help="outcome to search for")
     analyze.add_argument("--expected", type=int, default=None,
                          help="expected final printed value (wrong-final-value query)")
@@ -260,6 +274,19 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0 if state.status.value == "halted" else 1
 
 
+def _validated_queue(queue: Optional[str]) -> Optional[str]:
+    """Reject unknown ``--queue`` schemes and malformed ``tcp://`` locators
+    with a one-line error instead of a traceback deep in the backend."""
+    if queue is None:
+        return None
+    from .distributed.broker import validate_queue_locator
+    try:
+        validate_queue_locator(queue)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    return queue
+
+
 def _resolve_backend(args: argparse.Namespace) -> str:
     """Pick the execution backend, validating flag combinations."""
     backend = args.backend
@@ -286,6 +313,13 @@ def _resolve_backend(args: argparse.Namespace) -> str:
     if args.resume and args.checkpoint is None:
         raise SystemExit("--resume needs --checkpoint PATH (the journal to "
                          "resume from)")
+    if args.fault_model is not None and args.error_class is not None:
+        raise SystemExit("--fault-model and --error-class are mutually "
+                         "exclusive: the fault model plans the sweep")
+    if args.seed is not None and args.sample is None:
+        raise SystemExit("--seed only applies with --sample N (a full sweep "
+                         "is not randomised)")
+    _validated_queue(args.queue)
     return backend
 
 
@@ -354,25 +388,33 @@ def _command_analyze(args: argparse.Namespace) -> int:
     query = generate_query(args.query, golden_output=golden,
                            expected_value=expected)
     backend = _resolve_backend(args)
+    model = fault_model(args.fault_model) if args.fault_model else None
 
     campaign = SymbolicCampaign(
         workload.program,
         input_values=workload.default_input,
         memory=workload.data_segment,
         detectors=workload.detectors,
-        error_class=error_class(args.error_class),
+        error_class=error_class(args.error_class or "register"),
+        fault_model=model,
         execution_config=ExecutionConfig(
             max_steps=args.max_steps,
             control_fork_domain=args.control_fork_domain),
         max_solutions_per_injection=args.max_solutions,
         max_states_per_injection=args.max_states)
 
-    injections = campaign.enumerate_injections()
+    injections = campaign.plan_injections(sample=args.sample, seed=args.seed)
     if args.max_injections is not None:
         injections = injections[:args.max_injections]
     print(f"program        : {workload.program.describe()}")
     print(f"golden output  : {list(golden)}")
-    print(f"error class    : {args.error_class}")
+    if model is not None:
+        print(f"fault model    : {model.name}")
+    else:
+        print(f"error class    : {args.error_class or 'register'}")
+    if args.sample is not None:
+        print(f"sampled        : {args.sample} (seed "
+              f"{0 if args.seed is None else args.seed})")
     print(f"query          : {query.description}")
     print(f"injections     : {len(injections)}")
     if backend != "serial":
@@ -476,6 +518,7 @@ def _command_worker(args: argparse.Namespace) -> int:
 
     from .distributed import WorkerConfig, run_worker
 
+    _validated_queue(args.queue)
     config = WorkerConfig(queue_dir=args.queue,
                           poll_interval=args.poll_interval,
                           max_idle_seconds=args.max_idle,

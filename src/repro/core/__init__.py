@@ -2,9 +2,10 @@
 
 from .outcomes import Outcome, OutcomeKind, classify, golden_run_output
 from .queries import (SearchQuery, crashed, detected, halted_normally, hung,
-                      incorrect_output, last_printed_value, output_contains_err,
-                      output_differs, output_equals, printed_value,
-                      printed_value_other_than, undetected_failure)
+                      incorrect_output, last_printed_value, latent_err,
+                      output_contains_err, output_differs, output_equals,
+                      printed_value, printed_value_other_than,
+                      undetected_failure)
 from .search import (BoundedModelChecker, CacheStatistics, SearchResult,
                      SearchResultCache, SearchStatistics, Solution,
                      executor_digest, stable_state_digest)
@@ -21,9 +22,9 @@ from .traces import Witness, witnesses_from_campaign
 __all__ = [
     "Outcome", "OutcomeKind", "classify", "golden_run_output",
     "SearchQuery", "crashed", "detected", "halted_normally", "hung",
-    "incorrect_output", "last_printed_value", "output_contains_err",
-    "output_differs", "output_equals", "printed_value",
-    "printed_value_other_than", "undetected_failure",
+    "incorrect_output", "last_printed_value", "latent_err",
+    "output_contains_err", "output_differs", "output_equals",
+    "printed_value", "printed_value_other_than", "undetected_failure",
     "BoundedModelChecker", "CacheStatistics", "SearchResult",
     "SearchResultCache", "SearchStatistics", "SharedSearchResultCache",
     "Solution", "executor_digest", "stable_state_digest",

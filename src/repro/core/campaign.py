@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..detectors import DetectorSet, EMPTY_DETECTORS
 from ..errors.injector import Injection, prepare_injected_state
 from ..errors.models import ErrorClass, RegisterFileError
+from ..faults.models import FaultModel, deterministic_sample
 from ..isa.program import Program
 from ..isa.values import ERR
 from ..machine.executor import ExecutionConfig, Executor
@@ -176,6 +177,7 @@ class SymbolicCampaign:
                  memory: Optional[Dict[int, int]] = None,
                  detectors: DetectorSet = EMPTY_DETECTORS,
                  error_class: Optional[ErrorClass] = None,
+                 fault_model: Optional[FaultModel] = None,
                  execution_config: Optional[ExecutionConfig] = None,
                  max_solutions_per_injection: int = 10,
                  max_states_per_injection: int = 50_000,
@@ -185,6 +187,9 @@ class SymbolicCampaign:
         self.memory = dict(memory) if memory else {}
         self.detectors = detectors
         self.error_class = error_class or RegisterFileError()
+        #: When set, injections are planned by this pluggable model
+        #: (:mod:`repro.faults`) instead of the legacy error class.
+        self.fault_model = fault_model
         self.execution_config = execution_config or ExecutionConfig()
         self.max_solutions_per_injection = max_solutions_per_injection
         self.max_states_per_injection = max_states_per_injection
@@ -198,17 +203,41 @@ class SymbolicCampaign:
 
     def enumerate_injections(self,
                              pcs: Optional[Sequence[int]] = None) -> List[Injection]:
-        """All injections of the campaign's error class (optionally restricted)."""
+        """All injections of the campaign's fault model or error class."""
+        if self.fault_model is not None:
+            return self.fault_model.enumerate(self.program, memory=self.memory,
+                                              pcs=pcs)
         return self.error_class.enumerate(self.program, pcs=pcs)
+
+    def plan_injections(self, sample: Optional[int] = None,
+                        seed: Optional[int] = None) -> List[Injection]:
+        """Plan the sweep: the full enumerated space, or a seeded sample.
+
+        Planning happens once, on the coordinator, before any chunking or
+        distribution — so a sampled sweep is the same list of specs no
+        matter which backend executes it.
+        """
+        if self.fault_model is not None:
+            return self.fault_model.plan(self.program, memory=self.memory,
+                                         sample=sample, seed=seed)
+        injections = self.enumerate_injections()
+        if sample is not None:
+            injections = deterministic_sample(injections, sample, seed)
+        return injections
 
     # -------------------------------------------------------------- execution
 
     def run_injection(self, injection: Injection, query: SearchQuery,
                       result_cache: Optional[SearchResultCache] = None,
                       ) -> InjectionResult:
-        """Model-check a single injection experiment."""
+        """Model-check a single injection experiment.
+
+        A :class:`~repro.faults.spec.FaultSpec` carries its own corruption
+        value; a plain :class:`Injection` injects the symbolic ``ERR``.
+        """
         injected = prepare_injected_state(
-            self.program, injection, self.fresh_initial_state(), value=ERR,
+            self.program, injection, self.fresh_initial_state(),
+            value=getattr(injection, "value", ERR),
             detectors=self.detectors,
             max_prefix_steps=self.execution_config.max_steps)
         if injected is None:

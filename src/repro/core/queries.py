@@ -15,6 +15,7 @@ from typing import Callable, Sequence, Tuple
 
 from ..isa.values import is_err
 from ..machine.state import MachineState, Status
+from ..machine.state import state_contains_err as _state_contains_err
 
 
 Predicate = Callable[[MachineState], bool]
@@ -51,6 +52,21 @@ def output_contains_err() -> SearchQuery:
     """The paper's canonical query: some printed value is ``err``."""
     return SearchQuery("output contains err",
                        lambda state: state.output_contains_err())
+
+
+def latent_err() -> SearchQuery:
+    """Some location (register, memory word, PC or output) still holds ``err``.
+
+    The query for fault models whose corruption need not reach the output
+    — e.g. :class:`~repro.faults.models.MemoryCellFault` corrupting a cell
+    the program never prints: the error is *latent* in the final state.
+    Registers, memory and the PC come from the state's O(1) err census;
+    the output scan covers errors that reached a ``print`` but whose
+    source location was since overwritten.
+    """
+    return SearchQuery("final state retains err",
+                       lambda state: (_state_contains_err(state)
+                                      or state.output_contains_err()))
 
 
 def crashed() -> SearchQuery:

@@ -381,6 +381,30 @@ class FilesystemBroker(Broker):
         return len(self._task_files(self.results_dir))
 
 
+#: Queue-locator schemes :func:`open_broker` understands.
+KNOWN_QUEUE_SCHEMES: Tuple[str, ...] = ("tcp",)
+
+
+def validate_queue_locator(queue: str) -> str:
+    """Validate a ``--queue`` locator, raising ``ValueError`` with a
+    one-line message on an unknown scheme or a malformed ``tcp://`` URL.
+
+    A locator with a ``scheme://`` prefix must use a known scheme — a typo
+    like ``tpc://host:1`` or an unsupported ``redis://…`` must fail up
+    front, not be silently treated as a *directory name* for the
+    filesystem broker.  Plain paths pass through untouched.
+    """
+    if "://" in queue:
+        scheme = queue.split("://", 1)[0]
+        if scheme not in KNOWN_QUEUE_SCHEMES:
+            raise ValueError(
+                f"unknown queue scheme {scheme!r} in {queue!r}; expected a "
+                f"broker directory path or tcp://HOST:PORT")
+        from ..net.client import parse_queue_url  # deferred: net imports us
+        parse_queue_url(queue)
+    return queue
+
+
 def open_broker(queue: str, lease_seconds: float = 60.0) -> Broker:
     """Open the broker a queue locator names.
 
@@ -388,8 +412,11 @@ def open_broker(queue: str, lease_seconds: float = 60.0) -> Broker:
     ``repro broker`` server; anything else is a shared queue directory for
     :class:`FilesystemBroker`.  Every consumer of ``--queue`` (coordinator,
     worker, CLI) resolves the locator through this one function, so a new
-    backend scheme is a one-line addition here.
+    backend scheme is a one-line addition here (plus its entry in
+    :data:`KNOWN_QUEUE_SCHEMES`).  Raises ``ValueError`` on an unknown
+    scheme or malformed URL (see :func:`validate_queue_locator`).
     """
+    validate_queue_locator(queue)
     if queue.startswith("tcp://"):
         from ..net import SocketBroker  # deferred: repro.net imports us
         return SocketBroker(queue, lease_seconds=lease_seconds)

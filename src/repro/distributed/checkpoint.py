@@ -44,15 +44,19 @@ def campaign_header(campaign: SymbolicCampaign, query: SearchQuery) -> Dict:
     different ``--max-states`` would otherwise silently break the
     "identical to an uninterrupted run" guarantee).
     """
-    # Error class and detectors are pinned by content digest: a count or
-    # type name would accept a journal recorded under a *different* detector
-    # file.  A spurious digest mismatch (these are best-effort canonical)
-    # fails loudly toward refusing the resume, never toward a wrong merge.
+    # Error class, fault model and detectors are pinned by content digest:
+    # a count or type name would accept a journal recorded under a
+    # *different* detector file.  A spurious digest mismatch (these are
+    # best-effort canonical) fails loudly toward refusing the resume,
+    # never toward a wrong merge.
     semantics = hashlib.sha256(pickle.dumps(
-        (campaign.error_class, campaign.detectors), protocol=4)).hexdigest()
+        (campaign.error_class, campaign.fault_model, campaign.detectors),
+        protocol=4)).hexdigest()
     return {
         "program": campaign.program.name,
         "error_class": type(campaign.error_class).__name__,
+        "fault_model": (None if campaign.fault_model is None
+                        else campaign.fault_model.name),
         "query": query.description,
         "input_values": tuple(campaign.input_values),
         "search_caps": (campaign.max_solutions_per_injection,

@@ -54,16 +54,16 @@ class InjectionError(RuntimeError):
 
 
 def apply_corruption(state: MachineState, target: Location, value: Value) -> None:
-    """Corrupt *target* in *state* with *value* (``ERR`` or a concrete int)."""
-    if target.kind == Location.REGISTER:
-        if target.index == ZERO_REGISTER:
-            return  # the zero register cannot hold an error
-        state.write_register(target.index, value)
-    elif target.kind == Location.MEMORY:
-        state.write_memory(target.index, value)
-    else:  # PC
-        state.pc = value
-        state.constraints = state.constraints.without(Location.pc())
+    """Corrupt *target* in *state* with *value* (``ERR`` or a concrete int).
+
+    Delegates to :func:`~repro.machine.executor.apply_fault`, the single
+    CoW write path shared with the fault-model subsystem (:mod:`repro.
+    faults`), so every corruption maintains the state's incremental
+    fingerprints the same way.
+    """
+    from ..machine.executor import apply_fault
+
+    apply_fault(state, target.kind, target.index, value)
 
 
 def prepare_injected_state(program: Program,

@@ -1,0 +1,26 @@
+"""Pluggable fault models (the seam every new error scenario plugs into).
+
+Public surface:
+
+* :class:`FaultSpec` — the picklable unit: one planned fault (injection
+  point + value + originating model), carried unchanged by all four
+  execution backends;
+* :class:`FaultModel` and the concrete models —
+  :class:`RegisterValueFault`, :class:`MemoryCellFault`,
+  :class:`ControlFlowFault`, :class:`InstructionOperandFault`;
+* :data:`FAULT_MODELS` / :func:`fault_model` — the registry behind
+  ``repro analyze --fault-model``;
+* :func:`deterministic_sample` — seed-deterministic subsetting of an
+  enumerated injection space.
+"""
+
+from .models import (FAULT_MODELS, ControlFlowFault, FaultModel,
+                     InstructionOperandFault, MemoryCellFault,
+                     RegisterValueFault, deterministic_sample, fault_model)
+from .spec import FaultSpec
+
+__all__ = [
+    "FAULT_MODELS", "ControlFlowFault", "FaultModel", "FaultSpec",
+    "InstructionOperandFault", "MemoryCellFault", "RegisterValueFault",
+    "deterministic_sample", "fault_model",
+]

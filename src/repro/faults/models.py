@@ -1,0 +1,250 @@
+"""Pluggable fault models: how an injection space is enumerated or sampled.
+
+The paper's error model — single transient errors in registers, memory and
+control flow (Section 3.3) — was previously hard-wired into the campaign
+layer as a fixed register sweep.  A :class:`FaultModel` makes the model a
+first-class, picklable object: it *enumerates* the full injection space of
+a program (every :class:`~repro.faults.spec.FaultSpec` of its class) or
+*samples* a deterministic subset under a seed, and the campaign plans its
+sweep from whichever model it is given.
+
+Four concrete models ship here, selected on the CLI by
+``repro analyze --fault-model {register,memory,control,operand}``:
+
+* :class:`RegisterValueFault` — ``err`` in a register used by each
+  instruction (the paper's Section 6 campaign, extracted from the old
+  fixed sweep);
+* :class:`MemoryCellFault` — ``err`` in a data-segment memory word,
+  placed just before each load so the corruption can be consumed;
+* :class:`ControlFlowFault` — a corrupted program counter at
+  control-transfer instructions (branch/jump/call targets);
+* :class:`InstructionOperandFault` — ``err`` in the source operands an
+  instruction reads (bus/decode-style operand corruption).
+
+Future models (timing errors, multi-error bursts, concrete bit-flips) plug
+in by subclassing :class:`FaultModel` and registering in
+:data:`FAULT_MODELS`; everything downstream — planning, chunking, the four
+execution backends, checkpointing — operates on the produced FaultSpecs
+and needs no change.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..constraints import Location
+from ..errors.injector import registers_used_at
+from ..isa.instructions import Category
+from ..isa.program import Program
+from .spec import FaultSpec
+
+
+def deterministic_sample(space: Sequence[FaultSpec], k: int,
+                         seed: Optional[int] = None) -> List[FaultSpec]:
+    """An order-preserving, seed-deterministic sample of *k* specs.
+
+    The same ``(space, k, seed)`` always yields the same subset in the
+    same (enumeration) order, so a sampled campaign planned once by the
+    coordinator is byte-identical no matter which backend executes it.
+    ``seed=None`` means seed 0 — sampling is *never* nondeterministic.
+    """
+    if k < 1:
+        raise ValueError(f"sample size must be >= 1, got {k}")
+    space = list(space)
+    if k >= len(space):
+        return space
+    rng = random.Random(0 if seed is None else seed)
+    chosen = sorted(rng.sample(range(len(space)), k))
+    return [space[index] for index in chosen]
+
+
+class FaultModel:
+    """A named, picklable category of transient hardware faults.
+
+    Subclasses implement :meth:`enumerate`; :meth:`sample` and
+    :meth:`plan` are derived.  Enumeration must be a pure function of
+    ``(program, memory, pcs)`` so that every backend, worker and resumed
+    checkpoint sees the identical space.
+    """
+
+    name: str = "abstract"
+
+    def enumerate(self, program: Program,
+                  memory: Optional[Dict[int, int]] = None,
+                  pcs: Optional[Sequence[int]] = None) -> List[FaultSpec]:
+        """The full injection space of this model for *program*.
+
+        *memory* is the campaign's loader-initialised data segment (models
+        that corrupt memory cells draw their addresses from it); *pcs*
+        optionally restricts the sweep to a subset of code addresses (used
+        by the search-task decomposition).
+        """
+        raise NotImplementedError
+
+    def sample(self, program: Program, k: int, seed: Optional[int] = None,
+               memory: Optional[Dict[int, int]] = None,
+               pcs: Optional[Sequence[int]] = None) -> List[FaultSpec]:
+        """A deterministic k-spec sample of the enumerated space."""
+        return deterministic_sample(
+            self.enumerate(program, memory=memory, pcs=pcs), k, seed)
+
+    def plan(self, program: Program,
+             memory: Optional[Dict[int, int]] = None,
+             sample: Optional[int] = None, seed: Optional[int] = None,
+             pcs: Optional[Sequence[int]] = None) -> List[FaultSpec]:
+        """The sweep a campaign should run: everything, or a seeded sample."""
+        if sample is None:
+            return self.enumerate(program, memory=memory, pcs=pcs)
+        return self.sample(program, sample, seed=seed, memory=memory, pcs=pcs)
+
+    def _addresses(self, program: Program,
+                   pcs: Optional[Sequence[int]]) -> Sequence[int]:
+        return range(len(program)) if pcs is None else pcs
+
+
+@dataclass(frozen=True)
+class RegisterValueFault(FaultModel):
+    """``err`` in a register at the instruction that uses it.
+
+    The current campaign behaviour, extracted: for every static
+    instruction, one fault per register selected by *policy* (``"used"``
+    reproduces the paper's activation-guaranteed Section 6 sweep).
+    """
+
+    policy: str = "used"
+    name = "register"
+
+    def _description(self, register: int) -> str:
+        return f"register-file error in ${register}"
+
+    def enumerate(self, program: Program,
+                  memory: Optional[Dict[int, int]] = None,
+                  pcs: Optional[Sequence[int]] = None) -> List[FaultSpec]:
+        specs: List[FaultSpec] = []
+        for pc in self._addresses(program, pcs):
+            for register in registers_used_at(program, pc, self.policy):
+                specs.append(FaultSpec(
+                    breakpoint_pc=pc, target=Location.register(register),
+                    description=self._description(register),
+                    model=self.name))
+        return specs
+
+
+@dataclass(frozen=True)
+class MemoryCellFault(FaultModel):
+    """``err`` in a main-memory word (data-segment cell corruption).
+
+    When the program has a loader-initialised data segment, each known
+    cell is corrupted immediately before each load instruction (so the
+    corruption can be consumed; unread cells exercise *latent* errors —
+    see the ``latent-err`` query).  *max_cells_per_site* caps the cells
+    swept per load for large segments.  Programs without a data segment
+    fall back to corrupting each load's destination register right after
+    the load — equivalent to an error on the memory/cache bus feeding it.
+
+    Caveat (shared with the legacy ``MemoryError`` class this extracts):
+    the bus fallback breaks at the first dynamic arrival at ``pc + 1``,
+    which for a load whose successor is also a branch target may happen
+    before the load ever executes — the injection then degenerates to a
+    plain register error; and when ``pc + 1`` is never reached the
+    experiment is reported as not activated.
+    """
+
+    max_cells_per_site: Optional[int] = None
+    name = "memory"
+
+    def enumerate(self, program: Program,
+                  memory: Optional[Dict[int, int]] = None,
+                  pcs: Optional[Sequence[int]] = None) -> List[FaultSpec]:
+        addresses = list(self._addresses(program, pcs))
+        load_pcs = [pc for pc in addresses
+                    if (instruction := program.fetch(pc)) is not None
+                    and instruction.category is Category.LOAD]
+        cells = sorted(memory) if memory else []
+        if self.max_cells_per_site is not None:
+            cells = cells[:self.max_cells_per_site]
+        specs: List[FaultSpec] = []
+        if cells:
+            # No loads at all (straight-line data init): corrupt at entry.
+            sites = load_pcs or addresses[:1]
+            for pc in sites:
+                for address in cells:
+                    specs.append(FaultSpec(
+                        breakpoint_pc=pc, target=Location.memory(address),
+                        description=f"memory word {address} holds err",
+                        model=self.name))
+        else:
+            for pc in load_pcs:
+                instruction = program.fetch(pc)
+                specs.append(FaultSpec(
+                    breakpoint_pc=pc + 1,
+                    target=Location.register(instruction.operands[0]),
+                    description="memory word feeding this load (via bus)",
+                    model=self.name))
+        return specs
+
+
+@dataclass(frozen=True)
+class ControlFlowFault(FaultModel):
+    """A corrupted program counter at control-transfer points.
+
+    The PC is replaced with ``err`` just before each branch/jump/call, so
+    the symbolic executor forks over every feasible landing site (or the
+    illegal-instruction outcome), reproducing the paper's control-flow
+    error semantics.  A program without any control transfer degrades to
+    an instruction-fetch error at every instruction.
+    """
+
+    name = "control"
+
+    _TRANSFERS = (Category.BRANCH, Category.JUMP, Category.CALL,
+                  Category.JUMP_REGISTER)
+
+    def enumerate(self, program: Program,
+                  memory: Optional[Dict[int, int]] = None,
+                  pcs: Optional[Sequence[int]] = None) -> List[FaultSpec]:
+        addresses = [pc for pc in self._addresses(program, pcs)
+                     if program.fetch(pc) is not None]
+        transfer_pcs = [pc for pc in addresses
+                        if program.fetch(pc).category in self._TRANSFERS]
+        return [FaultSpec(breakpoint_pc=pc, target=Location.pc(),
+                          description="corrupted control flow (err PC)",
+                          model=self.name)
+                for pc in (transfer_pcs or addresses)]
+
+
+@dataclass(frozen=True)
+class InstructionOperandFault(RegisterValueFault):
+    """``err`` in the source operands an instruction reads.
+
+    Operand corruption on the read path (Table 1's bus/decode rows):
+    the register sweep restricted to each instruction's *read* operands,
+    corrupted immediately before the instruction executes so the wrong
+    operand is guaranteed to be consumed.
+    """
+
+    policy: str = "reads"
+    name = "operand"
+
+    def _description(self, register: int) -> str:
+        return f"operand ${register} corrupted"
+
+
+#: The pre-defined fault models offered on the CLI (`--fault-model`).
+FAULT_MODELS: Dict[str, FaultModel] = {
+    "register": RegisterValueFault(),
+    "memory": MemoryCellFault(),
+    "control": ControlFlowFault(),
+    "operand": InstructionOperandFault(),
+}
+
+
+def fault_model(name: str) -> FaultModel:
+    """Look up a pre-defined fault model by name."""
+    try:
+        return FAULT_MODELS[name]
+    except KeyError:
+        raise ValueError(f"unknown fault model {name!r}; available: "
+                         f"{sorted(FAULT_MODELS)}") from None

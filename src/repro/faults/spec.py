@@ -1,0 +1,47 @@
+"""The picklable unit of the pluggable fault-model subsystem.
+
+A :class:`FaultSpec` is one planned fault: *where* to corrupt (inherited
+from :class:`~repro.errors.injector.Injection` — breakpoint, dynamic
+occurrence, target location), *what* to write there (``value``, the
+symbolic ``err`` by default, or any concrete integer a future model may
+choose) and *which model* planned it.
+
+Because a ``FaultSpec`` **is** an ``Injection``, it travels through every
+existing carrier unchanged: injection chunks shipped to pool workers,
+:class:`~repro.core.tasks.SearchTask` payloads, the filesystem and socket
+broker queues, and checkpoint journals all pickle and merge FaultSpecs
+exactly like plain injections — the four execution backends (serial, pool,
+distributed, tcp) need no spec-specific code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors.injector import Injection
+from ..isa.values import ERR, Value, is_err
+
+
+@dataclass(frozen=True)
+class FaultSpec(Injection):
+    """One planned fault: an injection point plus the value to write.
+
+    Attributes (beyond :class:`Injection`'s):
+        value: what the corrupted location receives — ``ERR`` for the
+            paper's abstract error symbol, or a concrete integer for
+            models that corrupt with specific values.
+        model: name of the :class:`~repro.faults.models.FaultModel` that
+            planned this spec (identifies the space the spec was drawn
+            from in reports and checkpoint journals).
+    """
+
+    value: Value = ERR
+    model: str = ""
+
+    def label(self) -> str:
+        base = super().label()
+        if self.model:
+            base = f"[{self.model}] {base}"
+        if not is_err(self.value):
+            base += f" value={self.value!r}"
+        return base

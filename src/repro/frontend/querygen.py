@@ -11,13 +11,15 @@ it with the corresponding error class, producing a ready-to-run
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 from ..core.campaign import SymbolicCampaign
 from ..core.queries import (SearchQuery, crashed, hung, incorrect_output,
-                            output_contains_err, printed_value_other_than,
-                            undetected_failure)
+                            latent_err, output_contains_err,
+                            printed_value_other_than, undetected_failure)
 from ..errors.models import ErrorClass, error_class
+from ..faults.models import FaultModel
+from ..faults.models import fault_model as resolve_fault_model
 from ..machine.executor import ExecutionConfig
 from ..programs.base import Workload
 
@@ -30,6 +32,7 @@ QUERY_KINDS: Tuple[str, ...] = (
     "crash",                # terminated with an exception
     "hang",                 # watchdog timeout
     "undetected-failure",   # any failure not caught by a detector
+    "latent-err",           # err persists somewhere in the final state
 )
 
 
@@ -69,6 +72,8 @@ def generate_query(kind: str,
         if golden_output is None:
             raise ValueError("undetected-failure queries need the golden output")
         return undetected_failure(golden_output)
+    if kind == "latent-err":
+        return latent_err()
     raise ValueError(f"unknown query kind {kind!r}; available: {QUERY_KINDS}")
 
 
@@ -85,13 +90,18 @@ def generate(kind: str, error_category: str = "register",
 def generate_campaign(workload: Workload,
                       kind: str = "wrong-final-value",
                       error_category: str = "register",
+                      fault_model: Optional[Union[str, FaultModel]] = None,
                       expected_value: Optional[int] = None,
                       execution_config: Optional[ExecutionConfig] = None,
                       **campaign_options) -> Tuple[SymbolicCampaign, SearchQuery]:
     """Build a ready-to-run symbolic campaign for a workload.
 
     ``expected_value`` defaults to the last integer printed by the golden run
-    (which is what the tcas experiment uses).
+    (which is what the tcas experiment uses).  *fault_model* — a
+    :class:`~repro.faults.models.FaultModel` or a registry name
+    (``"register"``, ``"memory"``, ``"control"``, ``"operand"``) — plans
+    the sweep through the pluggable fault subsystem instead of the legacy
+    *error_category* sweep.
     """
     golden = workload.golden_output()
     if expected_value is None:
@@ -99,6 +109,8 @@ def generate_campaign(workload: Workload,
         expected_value = printed[-1] if printed else None
     generated = generate(kind, error_category, golden_output=golden,
                          expected_value=expected_value)
+    if isinstance(fault_model, str):
+        fault_model = resolve_fault_model(fault_model)
     config = execution_config or ExecutionConfig(
         max_steps=workload.recommended_max_steps)
     campaign = SymbolicCampaign(
@@ -107,6 +119,7 @@ def generate_campaign(workload: Workload,
         memory=workload.data_segment,
         detectors=workload.detectors,
         error_class=generated.error_class,
+        fault_model=fault_model,
         execution_config=config,
         **campaign_options)
     return campaign, generated.query

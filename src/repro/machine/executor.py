@@ -30,7 +30,8 @@ from ..errors.comparison import resolve_comparison
 from ..errors.propagation import (IMMEDIATE_ALIASES, NonDeterministicOperation,
                                   concrete_binary, symbolic_binary)
 from ..isa.instructions import (Category, Instruction,
-                                RETURN_ADDRESS_REGISTER, compare_base_opcode)
+                                RETURN_ADDRESS_REGISTER, ZERO_REGISTER,
+                                compare_base_opcode)
 from ..isa.program import Program
 from ..isa.values import ERR, Value, is_err
 from .exceptions import (DIVIDE_BY_ZERO, ILLEGAL_ADDRESS, ILLEGAL_INSTRUCTION,
@@ -81,6 +82,31 @@ class ExecutionConfig:
 
 class SymbolicValueEncountered(MachineModelError):
     """Raised by the concrete interpreter when it meets an ``err`` value."""
+
+
+def apply_fault(state: MachineState, kind: str, index: int,
+                value: Value) -> None:
+    """Apply one fault-spec corruption to *state* through the CoW write API.
+
+    The single write path every fault model funnels through: *kind* is a
+    :class:`~repro.constraints.Location` kind (``"reg"``, ``"mem"`` or
+    ``"pc"``), *value* is ``ERR`` or a concrete integer.  Register and
+    memory corruptions go through ``write_register`` / ``write_memory`` so
+    the state's incremental fingerprint and err census stay correct; a
+    corrupted PC also drops any stale constraint recorded for it.  Writes
+    to the hard-wired zero register are ignored (it cannot hold an error).
+    """
+    if kind == Location.REGISTER:
+        if index == ZERO_REGISTER:
+            return
+        state.write_register(index, value)
+    elif kind == Location.MEMORY:
+        state.write_memory(index, value)
+    elif kind == Location.PC:
+        state.pc = value
+        state.constraints = state.constraints.without(Location.pc())
+    else:
+        raise ValueError(f"unknown fault location kind {kind!r}")
 
 
 class Executor:

@@ -41,9 +41,12 @@ def parse_queue_url(url: str) -> Tuple[str, int]:
         raise ValueError(f"not a tcp:// queue URL: {url!r}")
     rest = url[len("tcp://"):].rstrip("/")
     host, separator, port_text = rest.rpartition(":")
-    if not separator or not port_text.isdigit():
+    if not separator or not host or not port_text.isdigit():
         raise ValueError(f"expected tcp://HOST:PORT, got {url!r}")
-    return host, int(port_text)
+    port = int(port_text)
+    if not 0 < port < 65536:
+        raise ValueError(f"port out of range in {url!r} (expected 1-65535)")
+    return host, port
 
 
 class SocketBroker(Broker):

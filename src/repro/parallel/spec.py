@@ -27,6 +27,7 @@ from ..core.queries import SearchQuery
 from ..core.search import SearchResultCache
 from ..detectors import DetectorSet, EMPTY_DETECTORS
 from ..errors.models import ErrorClass, RegisterFileError
+from ..faults.models import FaultModel
 from ..isa.program import Program
 from ..machine.executor import ExecutionConfig
 
@@ -144,6 +145,10 @@ class CampaignSpec:
     memory: Dict[int, int] = field(default_factory=dict)
     detectors: DetectorSet = EMPTY_DETECTORS
     error_class: ErrorClass = field(default_factory=RegisterFileError)
+    #: Pluggable fault model (:mod:`repro.faults`); FaultModels are small
+    #: frozen dataclasses, so they ride the spec (and thus every broker
+    #: manifest) unchanged, like the FaultSpecs they plan.
+    fault_model: Optional[FaultModel] = None
     execution_config: ExecutionConfig = field(default_factory=ExecutionConfig)
     max_solutions_per_injection: int = 10
     max_states_per_injection: int = 50_000
@@ -157,6 +162,7 @@ class CampaignSpec:
             memory=dict(campaign.memory),
             detectors=campaign.detectors,
             error_class=campaign.error_class,
+            fault_model=campaign.fault_model,
             execution_config=campaign.execution_config,
             max_solutions_per_injection=campaign.max_solutions_per_injection,
             max_states_per_injection=campaign.max_states_per_injection,
@@ -169,6 +175,7 @@ class CampaignSpec:
             memory=self.memory,
             detectors=self.detectors,
             error_class=self.error_class,
+            fault_model=self.fault_model,
             execution_config=self.execution_config,
             max_solutions_per_injection=self.max_solutions_per_injection,
             max_states_per_injection=self.max_states_per_injection,

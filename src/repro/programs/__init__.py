@@ -4,15 +4,17 @@ from typing import Callable, Dict
 
 from .base import Workload
 from .factorial import (FACTORIAL_DETECTORS_SOURCE, FACTORIAL_SOURCE,
-                        FACTORIAL_WITH_DETECTORS_SOURCE, factorial_workload,
+                        FACTORIAL_WITH_DETECTORS_SOURCE, factorial_campaign,
+                        factorial_workload,
                         factorial_with_detectors_workload,
                         loop_counter_injection_pc)
 from .tcas import (DOWNWARD_ADVISORY_INPUT, TCAS_INPUT_NAMES, TCAS_SOURCE,
                    UPWARD_ADVISORY_INPUT, compile_tcas, make_input,
-                   reference_alt_sep_test, tcas_workload)
+                   reference_alt_sep_test, tcas_campaign, tcas_workload)
 from .replace import (DEFAULT_LINES, DEFAULT_PATTERN, DEFAULT_SUBSTITUTION,
                       REPLACE_SOURCE, compile_replace, decode_output,
-                      encode_input, reference_replace, replace_workload)
+                      encode_input, reference_replace, replace_campaign,
+                      replace_workload)
 from .kernels import (call_max_workload, memory_walk_workload,
                       safe_divide_workload, sum_input_workload)
 
@@ -43,14 +45,15 @@ def load_workload(name: str) -> Workload:
 __all__ = [
     "Workload", "WORKLOADS", "load_workload",
     "FACTORIAL_DETECTORS_SOURCE", "FACTORIAL_SOURCE",
-    "FACTORIAL_WITH_DETECTORS_SOURCE", "factorial_workload",
+    "FACTORIAL_WITH_DETECTORS_SOURCE", "factorial_campaign",
+    "factorial_workload",
     "factorial_with_detectors_workload", "loop_counter_injection_pc",
     "DOWNWARD_ADVISORY_INPUT", "TCAS_INPUT_NAMES", "TCAS_SOURCE",
     "UPWARD_ADVISORY_INPUT", "compile_tcas", "make_input",
-    "reference_alt_sep_test", "tcas_workload",
+    "reference_alt_sep_test", "tcas_campaign", "tcas_workload",
     "DEFAULT_LINES", "DEFAULT_PATTERN", "DEFAULT_SUBSTITUTION",
     "REPLACE_SOURCE", "compile_replace", "decode_output", "encode_input",
-    "reference_replace", "replace_workload",
+    "reference_replace", "replace_campaign", "replace_workload",
     "call_max_workload", "memory_walk_workload", "safe_divide_workload",
     "sum_input_workload",
 ]

@@ -53,6 +53,28 @@ class Workload:
                 f"({state.exception})")
         return state.output_values()
 
+    def campaign(self, kind: str = "err-output",
+                 fault_model=None,
+                 error_category: str = "register",
+                 expected_value: Optional[int] = None,
+                 execution_config=None,
+                 **campaign_options):
+        """A ready-to-run ``(SymbolicCampaign, SearchQuery)`` for this workload.
+
+        *fault_model* — a :class:`~repro.faults.models.FaultModel` or a
+        registry name (``"register"``, ``"memory"``, ``"control"``,
+        ``"operand"``) — plans the sweep through the pluggable fault
+        subsystem; without it the legacy *error_category* sweep is used.
+        """
+        from ..frontend.querygen import generate_campaign
+
+        return generate_campaign(self, kind=kind,
+                                 error_category=error_category,
+                                 fault_model=fault_model,
+                                 expected_value=expected_value,
+                                 execution_config=execution_config,
+                                 **campaign_options)
+
     def describe(self) -> str:
         return (f"{self.name}: {len(self.program)} instructions, "
                 f"{len(self.data_segment)} data words, "

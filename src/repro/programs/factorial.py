@@ -97,6 +97,18 @@ def factorial_with_detectors_workload(default_input: int = 5) -> Workload:
     )
 
 
+def factorial_campaign(fault_model=None, kind: str = "err-output",
+                       **campaign_options):
+    """A ready-to-run factorial campaign, parametrized by fault model.
+
+    ``factorial_campaign("control")`` sweeps corrupted branch targets over
+    the Figure 2 program; see :mod:`repro.faults` for the model registry.
+    Returns ``(SymbolicCampaign, SearchQuery)``.
+    """
+    return factorial_workload().campaign(kind=kind, fault_model=fault_model,
+                                         **campaign_options)
+
+
 def loop_counter_injection_pc(workload: Workload) -> int:
     """Code address of the ``subi`` that decrements the loop counter.
 

@@ -604,6 +604,17 @@ def replace_workload(pattern: str = DEFAULT_PATTERN,
     )
 
 
+def replace_campaign(fault_model=None, kind: str = "incorrect-output",
+                     **campaign_options):
+    """A ready-to-run replace campaign, parametrized by fault model.
+
+    Returns ``(SymbolicCampaign, SearchQuery)``; see :mod:`repro.faults`
+    for the model registry.
+    """
+    return replace_workload().campaign(kind=kind, fault_model=fault_model,
+                                       **campaign_options)
+
+
 # --------------------------------------------------------------------------
 # Pure-Python oracle (a direct port of the same algorithm), used by the
 # differential and property-based tests.

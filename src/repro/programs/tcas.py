@@ -238,6 +238,19 @@ def tcas_workload(input_values: Sequence[int] = UPWARD_ADVISORY_INPUT) -> Worklo
     )
 
 
+def tcas_campaign(fault_model=None, kind: str = "wrong-final-value",
+                  **campaign_options):
+    """A ready-to-run tcas campaign, parametrized by fault model.
+
+    ``tcas_campaign("memory")`` corrupts the loader-initialised data
+    segment cells feeding the advisory logic's loads; see
+    :mod:`repro.faults` for the model registry.  Returns
+    ``(SymbolicCampaign, SearchQuery)``.
+    """
+    return tcas_workload().campaign(kind=kind, fault_model=fault_model,
+                                    **campaign_options)
+
+
 def make_input(**overrides: int) -> Tuple[int, ...]:
     """Build a tcas input vector starting from the upward-advisory default."""
     values = dict(zip(TCAS_INPUT_NAMES, UPWARD_ADVISORY_INPUT))

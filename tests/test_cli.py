@@ -168,6 +168,45 @@ class TestAnalyzeValidation:
             main(["analyze", "--workload", "factorial",
                   "--granularity", "task"])
 
+    def test_fault_model_and_error_class_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["analyze", "--workload", "factorial",
+                  "--fault-model", "register", "--error-class", "register"])
+
+    def test_seed_requires_sample(self):
+        with pytest.raises(SystemExit, match="--sample"):
+            main(["analyze", "--workload", "factorial", "--seed", "3"])
+
+
+class TestQueueLocatorValidation:
+    """Unknown --queue schemes and malformed tcp:// locators must exit with
+    a one-line error, not a traceback (regression)."""
+
+    def test_worker_rejects_an_unknown_queue_scheme(self):
+        with pytest.raises(SystemExit, match="unknown queue scheme 'redis'"):
+            main(["worker", "--queue", "redis://localhost:6379"])
+
+    def test_worker_rejects_a_malformed_tcp_locator(self):
+        with pytest.raises(SystemExit, match="tcp://HOST:PORT"):
+            main(["worker", "--queue", "tcp://nohost"])
+
+    def test_analyze_rejects_an_unknown_queue_scheme(self):
+        with pytest.raises(SystemExit, match="unknown queue scheme 'tpc'"):
+            main(["analyze", "--workload", "factorial", "--backend",
+                  "distributed", "--workers", "2",
+                  "--queue", "tpc://localhost:1"])
+
+    def test_analyze_rejects_a_portless_tcp_locator(self):
+        with pytest.raises(SystemExit, match="tcp://HOST:PORT"):
+            main(["analyze", "--workload", "factorial", "--backend",
+                  "distributed", "--workers", "2", "--queue", "tcp://host"])
+
+    def test_analyze_rejects_an_out_of_range_port(self):
+        with pytest.raises(SystemExit, match="port out of range"):
+            main(["analyze", "--workload", "factorial", "--backend",
+                  "distributed", "--workers", "2",
+                  "--queue", "tcp://host:99999"])
+
 
 class TestAnalyzeBackends:
     def test_explicit_pool_backend_matches_serial(self, capsys):
@@ -210,3 +249,45 @@ class TestAnalyzeBackends:
         again = analyze_output(capsys, "--shared-cache",
                                str(tmp_path / "cache.db"))
         assert normalized(serial) == normalized(cached) == normalized(again)
+
+
+def fault_model_output(capsys, model, *arguments, workload="memory_walk"):
+    code = main(["analyze", "--workload", workload, "--query", "err-output",
+                 "--fault-model", model, "--sample", "5", "--seed", "7",
+                 "--max-states", "5000", *arguments])
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestAnalyzeFaultModels:
+    @pytest.mark.parametrize("model", ["register", "memory", "control",
+                                       "operand"])
+    def test_every_model_sweeps_and_reports(self, model, capsys):
+        out = fault_model_output(capsys, model)
+        assert f"fault model    : {model}" in out
+        assert "sampled        : 5 (seed 7)" in out
+        assert "injections run" in out
+
+    def test_sampled_sweep_is_reproducible(self, capsys):
+        first = fault_model_output(capsys, "operand")
+        second = fault_model_output(capsys, "operand")
+        assert normalized(first) == normalized(second)
+
+    def test_fault_model_pool_backend_matches_serial(self, capsys):
+        serial = fault_model_output(capsys, "register")
+        pooled = fault_model_output(capsys, "register",
+                                    "--backend", "pool", "--workers", "2")
+        assert normalized(serial) == normalized(pooled)
+
+    def test_fault_model_distributed_backend_matches_serial(self, capsys):
+        serial = fault_model_output(capsys, "control")
+        distributed = fault_model_output(capsys, "control", "--backend",
+                                         "distributed", "--workers", "2")
+        assert normalized(serial) == normalized(distributed)
+
+    def test_latent_err_query_is_exposed(self, capsys):
+        code = main(["analyze", "--workload", "memory_walk",
+                     "--fault-model", "memory", "--query", "latent-err",
+                     "--max-states", "5000"])
+        assert code == 0
+        assert "final state retains err" in capsys.readouterr().out
