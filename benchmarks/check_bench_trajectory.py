@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI gate: the per-PR BENCH trajectory must not regress.
+
+Compares a fresh ``BENCH_<sha>.json`` (emitted by ``repro bench`` /
+``benchmarks/run_workloads.py``) against the most recent point committed
+under ``benchmarks/data/trajectory/``.  Each matrix entry's fresh
+wall-clock must stay within ``--tolerance`` (default 1.2, i.e. a >20%
+slowdown fails) of the baseline entry, reusing the per-name comparison
+logic of :mod:`check_state_hotpath`.  A fresh run with *no* committed
+baseline passes — that run becomes the first trajectory point.
+
+A second gate bounds coordinator memory for the streaming pair: the
+``replace-results-stream-10x`` entry sweeps 10x the injections of
+``replace-results-stream-1x`` into a ``--results`` store, and its peak
+RSS must stay within ``--rss-tolerance`` (default 2.0x) of the 1x run.
+Residual growth at this scale comes from the symbolic-search layer
+(interpreter arenas, the bounded search cache), not from result
+retention — the streaming coordinator holds at most one in-flight result
+plus a bounded store batch — so the bound is a canary for accidentally
+re-retaining the sweep, which would blow well past 2x at 10x volume.
+
+Usage::
+
+    python benchmarks/check_bench_trajectory.py BENCH_abc123.json
+    python benchmarks/check_bench_trajectory.py FRESH.json --baseline OLD.json
+
+Exit status 0 when every gate passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from check_state_hotpath import compare_means
+
+TRAJECTORY_DIR = Path(__file__).resolve().parent / "data" / "trajectory"
+STREAM_PAIR = ("replace-results-stream-1x", "replace-results-stream-10x")
+
+
+def load_point(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def latest_committed_point(directory: Optional[Path] = None):
+    """The newest ``BENCH_*.json`` under *directory*, or ``None``.
+
+    Points are ordered by their recorded ``created`` timestamp (ISO-8601
+    sorts lexicographically), not by filename, so force-pushed or
+    re-recorded shas cannot shadow a newer point.
+    """
+    if directory is None:
+        directory = TRAJECTORY_DIR
+    candidates = sorted(directory.glob("BENCH_*.json")) \
+        if directory.is_dir() else []
+    points = [(load_point(str(path)), path) for path in candidates]
+    if not points:
+        return None
+    points.sort(key=lambda pair: str(pair[0].get("created", "")))
+    return points[-1]
+
+
+def entry_means(point: dict) -> dict:
+    return {entry["id"]: float(entry["wall_clock_seconds"])
+            for entry in point.get("entries", [])}
+
+
+def check_wall_clock(baseline: dict, fresh: dict, tolerance: float) -> list:
+    print(f"bench trajectory gate (tolerance {tolerance:g}x, baseline sha "
+          f"{baseline.get('sha', '?')}, fresh sha {fresh.get('sha', '?')}):")
+    return compare_means(entry_means(baseline), entry_means(fresh),
+                         tolerance, unit_scale=1.0, unit="s")
+
+
+def check_rss_flat(fresh: dict, rss_tolerance: float) -> list:
+    """Bound the streaming pair's RSS growth at 10x injection volume."""
+    rss = {entry["id"]: entry.get("max_rss_kb")
+           for entry in fresh.get("entries", [])}
+    small, large = (rss.get(name) for name in STREAM_PAIR)
+    if small is None or large is None:
+        print("streaming RSS gate: pair not in this matrix, skipped")
+        return []
+    if not small or not large:
+        print("streaming RSS gate: RSS unavailable on this platform, skipped")
+        return []
+    ratio = large / small
+    verdict = "ok" if ratio <= rss_tolerance else "REGRESSED"
+    print(f"streaming RSS gate: {STREAM_PAIR[1]} {large} kB vs "
+          f"{STREAM_PAIR[0]} {small} kB ({ratio:.2f}x at 10x injections, "
+          f"allowed <= {rss_tolerance:g}x)  {verdict}")
+    if ratio > rss_tolerance:
+        return [f"coordinator RSS grew {ratio:.2f}x for a 10x streamed "
+                f"sweep (allowed <= {rss_tolerance:g}x) — is the "
+                f"coordinator retaining results again?"]
+    return []
+
+
+def check(fresh_path: str, baseline_path=None, tolerance: float = 1.2,
+          rss_tolerance: float = 2.0) -> int:
+    fresh = load_point(fresh_path)
+    if baseline_path is None:
+        located = latest_committed_point()
+        if located is None:
+            print("no committed trajectory point yet — this run becomes "
+                  "the first one; gate passes")
+            return 0
+        baseline, baseline_file = located
+        print(f"baseline: {baseline_file.name}")
+    else:
+        baseline = load_point(baseline_path)
+
+    failures = check_wall_clock(baseline, fresh, tolerance)
+    failures += check_rss_flat(fresh, rss_tolerance)
+
+    if failures:
+        print("\nFAIL: bench trajectory regressed beyond tolerance:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench trajectory within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="BENCH_<sha>.json of this run")
+    parser.add_argument("--baseline", default=None,
+                        help="explicit baseline point (default: newest "
+                             "committed file in benchmarks/data/trajectory/)")
+    parser.add_argument("--tolerance", type=float, default=1.2,
+                        help="allowed wall-clock ratio per entry")
+    parser.add_argument("--rss-tolerance", type=float, default=2.0,
+                        help="allowed RSS ratio for the 10x streaming entry")
+    args = parser.parse_args(argv)
+    return check(args.fresh, args.baseline, args.tolerance,
+                 args.rss_tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

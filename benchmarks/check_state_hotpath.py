@@ -35,29 +35,47 @@ def load_fresh_means(path: str) -> dict:
             for entry in report.get("benchmarks", [])}
 
 
+def compare_means(baseline_means: dict, fresh_means: dict, tolerance: float,
+                  unit_scale: float = 1e6, unit: str = "us") -> list:
+    """Compare per-name fresh means against baseline means.
+
+    Prints one verdict line per baseline entry and returns the list of
+    failure strings: a fresh mean beyond ``baseline * tolerance`` fails,
+    and a baseline entry missing from the fresh run is itself a failure (a
+    silently skipped gate is a regressed gate).  Shared by the state
+    hot-path gate and ``check_bench_trajectory.py``.
+    """
+    failures = []
+    width = max(len(name) for name in baseline_means)
+    for name, base_mean in sorted(baseline_means.items()):
+        base_mean = float(base_mean)
+        allowed = base_mean * tolerance
+        mean = fresh_means.get(name)
+        if mean is None:
+            print(f"  {name:<{width}}  MISSING from the fresh run")
+            failures.append(f"{name}: not measured")
+            continue
+        ratio = mean / base_mean
+        verdict = "ok" if mean <= allowed else "REGRESSED"
+        print(f"  {name:<{width}}  {mean * unit_scale:9.3f}{unit}  "
+              f"(baseline {base_mean * unit_scale:.3f}{unit}, "
+              f"{ratio:5.2f}x, allowed <= {allowed * unit_scale:.3f}{unit})"
+              f"  {verdict}")
+        if mean > allowed:
+            failures.append(f"{name}: {mean:.3e}s vs allowed {allowed:.3e}s")
+    return failures
+
+
 def check(fresh_path: str, baseline_path: str) -> int:
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)["microbench_baseline"]
     tolerance = float(baseline["tolerance_factor"])
     fresh = load_fresh_means(fresh_path)
 
-    failures = []
-    width = max(len(name) for name in baseline["benchmarks"])
     print(f"state hot-path benchmark gate (tolerance {tolerance:g}x):")
-    for name, record in sorted(baseline["benchmarks"].items()):
-        allowed = float(record["mean_seconds"]) * tolerance
-        mean = fresh.get(name)
-        if mean is None:
-            print(f"  {name:<{width}}  MISSING from the fresh run")
-            failures.append(f"{name}: not measured")
-            continue
-        ratio = mean / float(record["mean_seconds"])
-        verdict = "ok" if mean <= allowed else "REGRESSED"
-        print(f"  {name:<{width}}  {mean * 1e6:9.3f}us  "
-              f"(baseline {float(record['mean_seconds']) * 1e6:.3f}us, "
-              f"{ratio:5.2f}x, allowed <= {allowed * 1e6:.3f}us)  {verdict}")
-        if mean > allowed:
-            failures.append(f"{name}: {mean:.3e}s vs allowed {allowed:.3e}s")
+    baseline_means = {name: record["mean_seconds"]
+                      for name, record in baseline["benchmarks"].items()}
+    failures = compare_means(baseline_means, fresh, tolerance)
 
     if failures:
         print("\nFAIL: state hot-path timings regressed beyond tolerance:",

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Unified workload driver — thin shim over :mod:`repro.results.bench`.
+
+Runs the pinned factorial/tcas/replace campaign matrix and emits a
+schema-versioned ``BENCH_<sha>.json`` trajectory point, or checks backend
+equivalence with ``--expect-identical``.  Identical to ``repro bench``::
+
+    python benchmarks/run_workloads.py --matrix ci
+    python benchmarks/run_workloads.py --expect-identical \
+        --backends pool,distributed,results,tcp \
+        --workload factorial --query err-output --sample 6 --seed 7
+"""
+
+import sys
+
+from repro.results.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -213,6 +213,12 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--resume", action="store_true",
                          help="skip injections already completed in the "
                               "--checkpoint journal")
+    analyze.add_argument("--results", default=None, metavar="PATH",
+                         help="append the campaign to a sqlite results "
+                              "warehouse; the coordinator streams each "
+                              "result into the store and incremental "
+                              "aggregates instead of retaining the sweep "
+                              "in memory (query it with 'repro report')")
     analyze.add_argument("--progress", action="store_true",
                          help="report sweep progress on stderr")
 
@@ -257,6 +263,24 @@ def _build_parser() -> argparse.ArgumentParser:
                              "orphaned")
     worker.add_argument("--progress", action="store_true",
                         help="report completed tasks on stderr")
+
+    report = subparsers.add_parser(
+        "report", help="cross-campaign queries over a results warehouse "
+                       "(outcome distributions, latent-err rates, "
+                       "per-fault-model coverage)")
+    report.add_argument("--results", required=True, metavar="PATH",
+                        help="sqlite results store written by 'repro analyze "
+                             "--results' or 'repro bench'")
+    report.add_argument("--campaign", type=int, default=None,
+                        help="report a single campaign id "
+                             "(default: whole-warehouse summary)")
+
+    from .results.bench import add_bench_arguments
+    bench = subparsers.add_parser(
+        "bench", help="unified workload driver: run the campaign matrix and "
+                      "emit a BENCH_<sha>.json trajectory point, or check "
+                      "backend equivalence with --expect-identical")
+    add_bench_arguments(bench)
 
     return parser
 
@@ -404,6 +428,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
         max_states_per_injection=args.max_states)
 
     injections = campaign.plan_injections(sample=args.sample, seed=args.seed)
+    planned = len(injections)
     if args.max_injections is not None:
         injections = injections[:args.max_injections]
     print(f"program        : {workload.program.describe()}")
@@ -413,7 +438,9 @@ def _command_analyze(args: argparse.Namespace) -> int:
     else:
         print(f"error class    : {args.error_class or 'register'}")
     if args.sample is not None:
-        print(f"sampled        : {args.sample} (seed "
+        # A --sample larger than the fault space clamps (with a warning
+        # from the sampler); report the size actually swept.
+        print(f"sampled        : {min(args.sample, planned)} (seed "
               f"{0 if args.seed is None else args.seed})")
     print(f"query          : {query.description}")
     print(f"injections     : {len(injections)}")
@@ -431,8 +458,34 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
     strategy, cache_statistics_fn = _build_analyze_strategy(
         args, backend, golden, expected)
+    store = None
+    if args.results is not None:
+        from .results import RecordingStrategy, SqliteResultStore
+        store = SqliteResultStore(args.results)
+        meta = {
+            "workload": workload.name,
+            "program": workload.program.name,
+            "query": query.description,
+            "fault_model": (model.name if model is not None
+                            else f"error-class:{args.error_class or 'register'}"),
+            "backend": backend,
+            "workers": args.workers,
+            "granularity": args.granularity,
+            "sample": args.sample,
+            "max_injections": args.max_injections,
+        }
+        # --checkpoint needs the wrapped backend to retain its result list
+        # (the journal merge zips pending and fresh results, and resumed
+        # results never pass through the streaming sink); without it the
+        # coordinator streams and retains nothing.
+        strategy = RecordingStrategy(strategy, store, meta=meta,
+                                     golden_output=golden,
+                                     retain=args.checkpoint is not None)
     result = campaign.run(query, injections=injections, progress=progress,
                           strategy=strategy)
+    if store is not None:
+        print(f"results store: {args.results} "
+              f"(campaign {strategy.campaign_id})", file=sys.stderr)
     if args.checkpoint is not None:
         skipped = getattr(strategy, "skipped", 0)
         print(f"checkpoint: {args.checkpoint}"
@@ -453,9 +506,11 @@ def _command_analyze(args: argparse.Namespace) -> int:
     if witnesses:
         print()
         print(format_witnesses(witnesses, limit=args.witnesses))
-    if result.total_solutions == 0 and all(r.completed for r in result.results):
+    if result.total_solutions == 0 and result.all_completed:
         print("\nno errors of this class evade detection for the explored "
               "injections: the program is resilient (within the search bounds).")
+    if store is not None:
+        store.close()
     return 0
 
 
@@ -550,6 +605,23 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_report(args: argparse.Namespace) -> int:
+    import os
+
+    from .results import SqliteResultStore, format_report
+
+    if not os.path.exists(args.results):
+        raise SystemExit(f"results store not found: {args.results}")
+    store = SqliteResultStore(args.results)
+    try:
+        print(format_report(store, campaign_id=args.campaign))
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc)) from exc
+    finally:
+        store.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
@@ -562,6 +634,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_broker(args)
     if args.command == "worker":
         return _command_worker(args)
+    if args.command == "report":
+        return _command_report(args)
+    if args.command == "bench":
+        from .results.bench import run_bench
+        return run_bench(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

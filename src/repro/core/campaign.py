@@ -93,6 +93,10 @@ class CampaignResult:
     def total_solutions(self) -> int:
         return sum(len(r.solutions) for r in self.results)
 
+    @property
+    def all_completed(self) -> bool:
+        return all(r.completed for r in self.results)
+
     def solutions(self) -> List[Tuple[Injection, Solution]]:
         found = []
         for result in self.results:
@@ -135,9 +139,28 @@ class ExecutionStrategy:
     #: as the checkpointing strategy install a sink here.
     result_sink: Optional[ResultSink] = None
 
+    #: When False, the strategy streams every result through
+    #: :meth:`emit_result` but does not retain it: :meth:`run` returns an
+    #: empty list and the coordinator's memory stays flat no matter how
+    #: large the sweep is.  Only meaningful with a sink (or a
+    #: :meth:`make_campaign_result` override) that consumes the stream —
+    #: see :class:`repro.results.recording.RecordingStrategy`.
+    retain_results: bool = True
+
     def emit_result(self, injection: Injection, result: InjectionResult) -> None:
         if self.result_sink is not None:
             self.result_sink(injection, result)
+
+    def make_campaign_result(self, query: SearchQuery,
+                             results: List[InjectionResult]) -> CampaignResult:
+        """Build the campaign result from this strategy's view of the sweep.
+
+        The default wraps the retained result list; streaming strategies
+        override this to return a store-backed view instead.
+        """
+        campaign = CampaignResult(query_description=query.description)
+        campaign.results = results
+        return campaign
 
     def run(self, campaign: "SymbolicCampaign", injections: Sequence[Injection],
             query: SearchQuery,
@@ -161,7 +184,8 @@ class SerialExecutionStrategy(ExecutionStrategy):
         for index, injection in enumerate(injections):
             result = campaign.run_injection(injection, query,
                                             result_cache=self.result_cache)
-            results.append(result)
+            if self.retain_results:
+                results.append(result)
             self.emit_result(injection, result)
             if progress is not None:
                 progress(index + 1, len(injections), result)
@@ -266,7 +290,7 @@ class SymbolicCampaign:
             injections = self.enumerate_injections()
         if strategy is None:
             strategy = SerialExecutionStrategy()
-        campaign = CampaignResult(query_description=query.description)
-        campaign.results = strategy.run(self, injections, query, progress=progress)
+        results = strategy.run(self, injections, query, progress=progress)
+        campaign = strategy.make_campaign_result(query, results)
         campaign.elapsed_seconds = time.monotonic() - campaign_start
         return campaign

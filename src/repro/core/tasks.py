@@ -222,6 +222,12 @@ class TaskExecutionStrategy:
 
     name: str = "abstract"
 
+    #: When False, the strategy still hands every completed task to the
+    #: progress callback (so streaming consumers see each result exactly
+    #: once) but returns an empty list instead of the merged task results —
+    #: the coordinator's memory stays flat over arbitrarily large sweeps.
+    retain_results: bool = True
+
     def run(self, runner: "TaskRunner", tasks: Sequence[SearchTask],
             query: SearchQuery,
             progress: Optional[Callable[[int, int, "TaskResult"], None]] = None,
@@ -245,7 +251,8 @@ class SerialTaskStrategy(TaskExecutionStrategy):
         for index, task in enumerate(tasks):
             task_result = runner.run_task(task, query,
                                           result_cache=self.result_cache)
-            results.append(task_result)
+            if self.retain_results:
+                results.append(task_result)
             if progress is not None:
                 progress(index + 1, len(tasks), task_result)
         return results
@@ -314,8 +321,14 @@ class TaskSweepStrategy(ExecutionStrategy):
             if progress is not None and task_result.results:
                 progress(done, len(injections), task_result.results[-1])
 
+        # Streaming mode: every result still flows through task_progress
+        # (above) exactly once; neither the task backend nor this adapter
+        # retains the sweep.
+        self.task_strategy.retain_results = self.retain_results
         task_results = self.task_strategy.run(runner, tasks, query,
                                               progress=task_progress)
+        if not self.retain_results:
+            return []
         # Deterministic merge: flatten in task-submission (= sweep) order.
         return [result for task_result in task_results
                 for result in task_result.results]

@@ -224,8 +224,13 @@ class _BrokerCoordinator:
     stragglers from a previous campaign that reused the queue.
     """
 
-    def __init__(self, config: DistributedConfig) -> None:
+    def __init__(self, config: DistributedConfig,
+                 retain_results: bool = True) -> None:
         self.config = config
+        #: When False, result bodies are handed to ``on_merged`` and then
+        #: dropped (a None placeholder keeps the dedup/ordering bookkeeping
+        #: intact) — the streaming-ingestion mode of the results warehouse.
+        self.retain_results = retain_results
         self.requeued_tasks: List[int] = []
         self.worker_stats: Dict[str, CacheStatistics] = {}
 
@@ -301,7 +306,7 @@ class _BrokerCoordinator:
                             broker.put_task(index, payloads[index])
                         continue
                     assert result_index == index
-                    merged[index] = body
+                    merged[index] = body if self.retain_results else None
                     worker_name, stats = snapshot
                     note_worker_snapshot(self.worker_stats, worker_name, stats)
                     if on_merged is not None:
@@ -375,11 +380,14 @@ class DistributedExecutionStrategy(ExecutionStrategy):
             if progress is not None and results:
                 progress(done_injections, len(injections), results[-1])
 
-        coordinator = _BrokerCoordinator(self.config)
+        coordinator = _BrokerCoordinator(self.config,
+                                         retain_results=self.retain_results)
         merged = coordinator.run(campaign, self.query_spec, chunks,
                                  TaskSpec(), on_merged=on_merged)
         self.requeued_tasks = coordinator.requeued_tasks
         self.cache_statistics = coordinator.cache_statistics()
+        if not self.retain_results:
+            return []
         # Deterministic merge: flatten in chunk-submission order.
         return [result for index in sorted(merged)
                 for result in merged[index]]
@@ -426,12 +434,15 @@ class DistributedTaskStrategy(TaskExecutionStrategy):
             if progress is not None:
                 progress(merged_count, len(tasks), result)
 
-        coordinator = _BrokerCoordinator(self.config)
+        coordinator = _BrokerCoordinator(self.config,
+                                         retain_results=self.retain_results)
         merged = coordinator.run(runner.campaign, self.query_spec, tasks,
                                  TaskSpec.from_runner(runner),
                                  on_merged=on_merged)
         self.requeued_tasks = coordinator.requeued_tasks
         self.cache_statistics = coordinator.cache_statistics()
+        if not self.retain_results:
+            return []
         return [merged[index] for index in sorted(merged)]
 
 

@@ -31,6 +31,7 @@ and needs no change.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -49,11 +50,18 @@ def deterministic_sample(space: Sequence[FaultSpec], k: int,
     same (enumeration) order, so a sampled campaign planned once by the
     coordinator is byte-identical no matter which backend executes it.
     ``seed=None`` means seed 0 — sampling is *never* nondeterministic.
+    A *k* larger than the space clamps to the full space with a one-line
+    warning (asking for "at most k" of a smaller space is well-defined).
     """
     if k < 1:
         raise ValueError(f"sample size must be >= 1, got {k}")
     space = list(space)
     if k >= len(space):
+        if k > len(space):
+            warnings.warn(
+                f"sample size {k} exceeds the enumerated fault space "
+                f"({len(space)} injections); sweeping the full space",
+                RuntimeWarning, stacklevel=2)
         return space
     rng = random.Random(0 if seed is None else seed)
     chosen = sorted(rng.sample(range(len(space)), k))

@@ -133,6 +133,7 @@ class ParallelExecutionStrategy(ExecutionStrategy):
             cache = (self.config.cache or CacheSpec()).build()
             serial = SerialExecutionStrategy(result_cache=cache)
             serial.result_sink = self.result_sink
+            serial.retain_results = self.retain_results
             results = serial.run(campaign, injections, query,
                                  progress=progress)
             self.cache_statistics = cache.statistics
@@ -152,7 +153,10 @@ class ParallelExecutionStrategy(ExecutionStrategy):
                           self.config.cache)) as pool:
             for index, results, snapshot in pool.imap_unordered(
                     run_injection_chunk, payloads):
-                merged[index] = results
+                # Streaming mode keeps an empty placeholder per chunk: the
+                # merge below stays order-complete while the coordinator
+                # retains nothing.
+                merged[index] = results if self.retain_results else []
                 worker_name, stats = snapshot
                 worker_stats[worker_name] = stats  # counters are monotonic
                 for injection, result in zip(chunks[index], results):
@@ -186,8 +190,9 @@ class ParallelTaskStrategy(TaskExecutionStrategy):
         tasks = list(tasks)
         if self.config.workers <= 1 or len(tasks) <= 1:
             cache = (self.config.cache or CacheSpec()).build()
-            results = SerialTaskStrategy(result_cache=cache).run(
-                runner, tasks, query, progress=progress)
+            serial = SerialTaskStrategy(result_cache=cache)
+            serial.retain_results = self.retain_results
+            results = serial.run(runner, tasks, query, progress=progress)
             self.cache_statistics = cache.statistics
             return results
 
@@ -204,12 +209,14 @@ class ParallelTaskStrategy(TaskExecutionStrategy):
                           self.config.cache)) as pool:
             for index, result, snapshot in pool.imap_unordered(run_search_task,
                                                                payloads):
-                merged[index] = result
+                merged[index] = result if self.retain_results else None
                 worker_name, stats = snapshot
                 worker_stats[worker_name] = stats
                 if progress is not None:
                     progress(len(merged), len(tasks), result)
         self.cache_statistics = _merge_cache_statistics(worker_stats)
+        if not self.retain_results:
+            return []
         return [merged[index] for index in sorted(merged)]
 
 

@@ -1,0 +1,25 @@
+"""The results warehouse: columnar campaign storage, streaming ingestion
+and cross-campaign reports (see :mod:`repro.results.store`)."""
+
+from __future__ import annotations
+
+from .aggregates import OutcomeAggregates, SolutionOutcome, classify_result
+from .recording import (RecordingStrategy, StoredCampaignResult,
+                        StoredResultsView)
+from .report import format_report
+from .store import (CampaignRecord, MemoryResultStore, ResultStore,
+                    SqliteResultStore)
+
+__all__ = [
+    "CampaignRecord",
+    "MemoryResultStore",
+    "OutcomeAggregates",
+    "RecordingStrategy",
+    "ResultStore",
+    "SolutionOutcome",
+    "SqliteResultStore",
+    "StoredCampaignResult",
+    "StoredResultsView",
+    "classify_result",
+    "format_report",
+]

@@ -1,0 +1,459 @@
+"""The results warehouse: columnar campaign storage with streaming ingestion.
+
+Campaign output used to live only in in-memory
+:class:`~repro.core.campaign.CampaignResult` lists merged at the
+coordinator, which caps sweeps far below the paper's "millions of
+injections" scale.  A :class:`ResultStore` is the durable replacement: the
+coordinator appends each :class:`~repro.core.campaign.InjectionResult` as
+it arrives (see :class:`~repro.results.recording.RecordingStrategy`),
+inserts are batched, and the columnar schema — campaign metadata, one
+``injections`` row per experiment, one ``outcomes`` row per classified
+solution with an index on ``(campaign_id, kind)`` — answers the
+cross-campaign queries of ``repro report`` without unpickling a single
+result blob.
+
+Two backends implement the same contract (the conformance suite in
+``tests/test_result_store.py`` is its executable form, in the style of the
+broker suite):
+
+* :class:`SqliteResultStore` — the production path: one sqlite file holds
+  any number of campaigns; WAL where the filesystem supports it; multiple
+  coordinator processes may append concurrently (sqlite serialises the
+  writers).  A ``sqlite -> parquet`` exporter would slot in as a third
+  backend behind the same contract.
+* :class:`MemoryResultStore` — the in-process backend for tests and
+  ephemeral runs, with the same batch/flush visibility semantics.
+
+Durability contract: rows become visible to readers (and, for sqlite,
+survive a crash) exactly when they are flushed — either explicitly, when a
+batch fills, or at :meth:`~ResultStore.finish_campaign`.  A crash mid-batch
+loses only the unflushed tail; reopening the store finds every flushed row
+and a campaign row still marked unfinished.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.campaign import InjectionResult
+from .aggregates import OutcomeAggregates, SolutionOutcome
+
+#: Metadata keys promoted to their own (queryable) campaign columns.
+_META_COLUMNS = ("workload", "program", "query", "fault_model", "backend")
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """One campaign's row in the warehouse."""
+
+    campaign_id: int
+    created_at: float
+    meta: Dict[str, object] = field(default_factory=dict)
+    elapsed_seconds: Optional[float] = None
+    finished: bool = False
+
+    def describe(self) -> str:
+        bits = [f"campaign {self.campaign_id}"]
+        for key in _META_COLUMNS:
+            value = self.meta.get(key)
+            if value not in (None, ""):
+                bits.append(f"{key}={value}")
+        if not self.finished:
+            bits.append("(unfinished)")
+        return " ".join(bits)
+
+
+@dataclass(frozen=True)
+class _InjectionRow:
+    """The columnar projection of one injection result (plus its pickle)."""
+
+    seq: int
+    label: str
+    model: Optional[str]
+    breakpoint_pc: int
+    target: str
+    activated: bool
+    completed: bool
+    solutions: int
+    latent: int
+    result: InjectionResult
+
+
+def _project(seq: int, result: InjectionResult,
+             outcomes: Sequence[SolutionOutcome]) -> _InjectionRow:
+    injection = result.injection
+    return _InjectionRow(
+        seq=seq,
+        label=injection.label(),
+        model=getattr(injection, "model", None),
+        breakpoint_pc=injection.breakpoint_pc,
+        target=repr(injection.target),
+        activated=result.activated,
+        completed=result.completed,
+        solutions=len(result.solutions),
+        latent=sum(1 for outcome in outcomes if outcome.latent),
+        result=result,
+    )
+
+
+class ResultStore:
+    """Contract every results-warehouse backend implements.
+
+    Writers: :meth:`begin_campaign` -> many :meth:`append` -> optional
+    :meth:`flush` -> :meth:`finish_campaign`.  Appends buffer into batches
+    of *batch_size* rows; an unflushed row is invisible to every reader.
+
+    Readers: :meth:`campaigns`, :meth:`count`, :meth:`get`,
+    :meth:`iter_results` (submission order, streaming), and the columnar
+    aggregate queries :meth:`aggregates` / :meth:`outcome_distribution`
+    which must equal a full-scan re-fold of the stored results.
+    """
+
+    def begin_campaign(self, meta: Dict[str, object]) -> int:
+        """Register a campaign; the returned id keys every later call.
+
+        The campaign row is durable immediately (not batched), so a crashed
+        run is discoverable in the warehouse."""
+        raise NotImplementedError
+
+    def append(self, campaign_id: int, seq: int, result: InjectionResult,
+               outcomes: Sequence[SolutionOutcome]) -> None:
+        """Buffer one result at submission index *seq* (auto-flush on a
+        full batch)."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make every buffered row visible (and, if durable, durable)."""
+        raise NotImplementedError
+
+    def finish_campaign(self, campaign_id: int,
+                        elapsed_seconds: float) -> None:
+        """Flush and mark the campaign complete."""
+        raise NotImplementedError
+
+    def campaigns(self) -> List[CampaignRecord]:
+        raise NotImplementedError
+
+    def campaign(self, campaign_id: int) -> CampaignRecord:
+        for record in self.campaigns():
+            if record.campaign_id == campaign_id:
+                return record
+        raise KeyError(f"no campaign {campaign_id} in the results store")
+
+    def count(self, campaign_id: int) -> int:
+        raise NotImplementedError
+
+    def get(self, campaign_id: int, seq: int) -> InjectionResult:
+        raise NotImplementedError
+
+    def iter_results(self, campaign_id: int) -> Iterator[InjectionResult]:
+        """Stream results in submission order without materialising them."""
+        raise NotImplementedError
+
+    def aggregates(self, campaign_id: int) -> OutcomeAggregates:
+        """Aggregates recomputed from the columnar data (no unpickling)."""
+        raise NotImplementedError
+
+    def outcome_distribution(self, campaign_id: int) -> Dict[str, int]:
+        """Per-outcome-kind solution counts (indexed query)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- sqlite
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_at REAL NOT NULL,
+    workload TEXT, program TEXT, query TEXT, fault_model TEXT, backend TEXT,
+    meta TEXT NOT NULL,
+    elapsed_seconds REAL,
+    finished INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS injections (
+    campaign_id INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    label TEXT NOT NULL,
+    model TEXT,
+    breakpoint_pc INTEGER NOT NULL,
+    target TEXT NOT NULL,
+    activated INTEGER NOT NULL,
+    completed INTEGER NOT NULL,
+    solutions INTEGER NOT NULL,
+    latent INTEGER NOT NULL,
+    result BLOB NOT NULL,
+    PRIMARY KEY (campaign_id, seq)
+);
+CREATE TABLE IF NOT EXISTS outcomes (
+    campaign_id INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    solution_index INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    detector_id INTEGER,
+    exception TEXT,
+    PRIMARY KEY (campaign_id, seq, solution_index)
+);
+CREATE INDEX IF NOT EXISTS idx_outcomes_kind ON outcomes (campaign_id, kind);
+CREATE INDEX IF NOT EXISTS idx_injections_model
+    ON injections (campaign_id, model);
+"""
+
+
+class SqliteResultStore(ResultStore):
+    """The sqlite-backed warehouse (see module docstring)."""
+
+    def __init__(self, path: str, batch_size: int = 256,
+                 busy_timeout_seconds: float = 30.0) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.path = path
+        self.batch_size = batch_size
+        self._connection = sqlite3.connect(path, timeout=busy_timeout_seconds)
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.DatabaseError:  # pragma: no cover - filesystem-specific
+            pass  # e.g. network filesystems; the rollback journal still works
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+        self._injection_rows: List[Tuple] = []
+        self._outcome_rows: List[Tuple] = []
+
+    # -------------------------------------------------------------- ingestion
+
+    def begin_campaign(self, meta: Dict[str, object]) -> int:
+        columns = [meta.get(key) for key in _META_COLUMNS]
+        cursor = self._connection.execute(
+            "INSERT INTO campaigns (created_at, workload, program, query, "
+            "fault_model, backend, meta) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (time.time(), *columns, json.dumps(meta, default=str)))
+        self._connection.commit()
+        return int(cursor.lastrowid)
+
+    def append(self, campaign_id: int, seq: int, result: InjectionResult,
+               outcomes: Sequence[SolutionOutcome]) -> None:
+        row = _project(seq, result, outcomes)
+        self._injection_rows.append(
+            (campaign_id, row.seq, row.label, row.model, row.breakpoint_pc,
+             row.target, int(row.activated), int(row.completed),
+             row.solutions, row.latent,
+             pickle.dumps(result, protocol=4)))
+        for index, outcome in enumerate(outcomes):
+            self._outcome_rows.append(
+                (campaign_id, seq, index, outcome.kind, outcome.detector_id,
+                 outcome.exception))
+        if len(self._injection_rows) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._injection_rows and not self._outcome_rows:
+            return
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO injections (campaign_id, seq, label, "
+            "model, breakpoint_pc, target, activated, completed, solutions, "
+            "latent, result) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            self._injection_rows)
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO outcomes (campaign_id, seq, "
+            "solution_index, kind, detector_id, exception) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            self._outcome_rows)
+        self._connection.commit()
+        self._injection_rows = []
+        self._outcome_rows = []
+
+    def finish_campaign(self, campaign_id: int,
+                        elapsed_seconds: float) -> None:
+        self.flush()
+        self._connection.execute(
+            "UPDATE campaigns SET elapsed_seconds = ?, finished = 1 "
+            "WHERE campaign_id = ?", (elapsed_seconds, campaign_id))
+        self._connection.commit()
+
+    # ---------------------------------------------------------------- queries
+
+    def campaigns(self) -> List[CampaignRecord]:
+        rows = self._connection.execute(
+            "SELECT campaign_id, created_at, meta, elapsed_seconds, finished "
+            "FROM campaigns ORDER BY campaign_id").fetchall()
+        return [CampaignRecord(campaign_id=int(row[0]), created_at=row[1],
+                               meta=json.loads(row[2]),
+                               elapsed_seconds=row[3],
+                               finished=bool(row[4]))
+                for row in rows]
+
+    def count(self, campaign_id: int) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM injections WHERE campaign_id = ?",
+            (campaign_id,)).fetchone()
+        return int(row[0])
+
+    def get(self, campaign_id: int, seq: int) -> InjectionResult:
+        row = self._connection.execute(
+            "SELECT result FROM injections WHERE campaign_id = ? AND seq = ?",
+            (campaign_id, seq)).fetchone()
+        if row is None:
+            raise IndexError(
+                f"campaign {campaign_id} has no result at seq {seq}")
+        return pickle.loads(row[0])
+
+    def iter_results(self, campaign_id: int) -> Iterator[InjectionResult]:
+        cursor = self._connection.execute(
+            "SELECT result FROM injections WHERE campaign_id = ? "
+            "ORDER BY seq", (campaign_id,))
+        while True:
+            rows = cursor.fetchmany(64)
+            if not rows:
+                return
+            for row in rows:
+                yield pickle.loads(row[0])
+
+    def aggregates(self, campaign_id: int) -> OutcomeAggregates:
+        row = self._connection.execute(
+            "SELECT COUNT(*), COALESCE(SUM(activated), 0), "
+            "COALESCE(SUM(solutions > 0), 0), COALESCE(SUM(completed), 0), "
+            "COALESCE(SUM(solutions), 0), COALESCE(SUM(latent), 0) "
+            "FROM injections WHERE campaign_id = ?", (campaign_id,)).fetchone()
+        aggregates = OutcomeAggregates(
+            injections_run=int(row[0]),
+            injections_activated=int(row[1]),
+            injections_with_solutions=int(row[2]),
+            injections_completed=int(row[3]),
+            total_solutions=int(row[4]),
+            latent_solutions=int(row[5]))
+        aggregates.outcome_counts.update(self.outcome_distribution(campaign_id))
+        return aggregates
+
+    def outcome_distribution(self, campaign_id: int) -> Dict[str, int]:
+        rows = self._connection.execute(
+            "SELECT kind, COUNT(*) FROM outcomes WHERE campaign_id = ? "
+            "GROUP BY kind", (campaign_id,)).fetchall()
+        return {row[0]: int(row[1]) for row in rows}
+
+    def close(self) -> None:
+        self.flush()
+        self._connection.close()
+
+
+# --------------------------------------------------------------------- memory
+
+class MemoryResultStore(ResultStore):
+    """In-process warehouse with the same batch/flush visibility semantics.
+
+    The backend for tests and ephemeral runs: rows live in dictionaries
+    (so it *does* retain the sweep — the streaming-RSS win belongs to the
+    sqlite backend), buffered appends become visible only on flush, and a
+    lock makes concurrent writers safe within one process.
+    """
+
+    def __init__(self, batch_size: int = 256) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self._lock = threading.RLock()
+        self._next_campaign_id = 1
+        self._campaigns: Dict[int, CampaignRecord] = {}
+        self._rows: Dict[int, Dict[int, _InjectionRow]] = {}
+        self._outcomes: Dict[int, Dict[int, List[SolutionOutcome]]] = {}
+        self._buffer: List[Tuple[int, _InjectionRow,
+                                 List[SolutionOutcome]]] = []
+
+    def begin_campaign(self, meta: Dict[str, object]) -> int:
+        with self._lock:
+            campaign_id = self._next_campaign_id
+            self._next_campaign_id += 1
+            self._campaigns[campaign_id] = CampaignRecord(
+                campaign_id=campaign_id, created_at=time.time(),
+                meta=dict(meta))
+            self._rows[campaign_id] = {}
+            self._outcomes[campaign_id] = {}
+            return campaign_id
+
+    def append(self, campaign_id: int, seq: int, result: InjectionResult,
+               outcomes: Sequence[SolutionOutcome]) -> None:
+        with self._lock:
+            self._buffer.append((campaign_id, _project(seq, result, outcomes),
+                                 list(outcomes)))
+            if len(self._buffer) >= self.batch_size:
+                self.flush()
+
+    def flush(self) -> None:
+        with self._lock:
+            for campaign_id, row, outcomes in self._buffer:
+                self._rows[campaign_id][row.seq] = row
+                self._outcomes[campaign_id][row.seq] = outcomes
+            self._buffer = []
+
+    def finish_campaign(self, campaign_id: int,
+                        elapsed_seconds: float) -> None:
+        with self._lock:
+            self.flush()
+            record = self._campaigns[campaign_id]
+            self._campaigns[campaign_id] = CampaignRecord(
+                campaign_id=record.campaign_id, created_at=record.created_at,
+                meta=record.meta, elapsed_seconds=elapsed_seconds,
+                finished=True)
+
+    def campaigns(self) -> List[CampaignRecord]:
+        with self._lock:
+            return [self._campaigns[campaign_id]
+                    for campaign_id in sorted(self._campaigns)]
+
+    def count(self, campaign_id: int) -> int:
+        with self._lock:
+            return len(self._rows.get(campaign_id, {}))
+
+    def get(self, campaign_id: int, seq: int) -> InjectionResult:
+        with self._lock:
+            try:
+                return self._rows[campaign_id][seq].result
+            except KeyError:
+                raise IndexError(f"campaign {campaign_id} has no result at "
+                                 f"seq {seq}") from None
+
+    def iter_results(self, campaign_id: int) -> Iterator[InjectionResult]:
+        with self._lock:
+            rows = self._rows.get(campaign_id, {})
+            ordered = [rows[seq] for seq in sorted(rows)]
+        for row in ordered:
+            yield row.result
+
+    def aggregates(self, campaign_id: int) -> OutcomeAggregates:
+        with self._lock:
+            rows = list(self._rows.get(campaign_id, {}).values())
+            aggregates = OutcomeAggregates(
+                injections_run=len(rows),
+                injections_activated=sum(1 for r in rows if r.activated),
+                injections_with_solutions=sum(1 for r in rows
+                                              if r.solutions > 0),
+                injections_completed=sum(1 for r in rows if r.completed),
+                total_solutions=sum(r.solutions for r in rows),
+                latent_solutions=sum(r.latent for r in rows))
+            aggregates.outcome_counts.update(
+                self.outcome_distribution(campaign_id))
+            return aggregates
+
+    def outcome_distribution(self, campaign_id: int) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for outcomes in self._outcomes.get(campaign_id, {}).values():
+                for outcome in outcomes:
+                    counts[outcome.kind] = counts.get(outcome.kind, 0) + 1
+            return counts
+
+    def close(self) -> None:
+        self.flush()

@@ -1,0 +1,140 @@
+"""Unit tests for the unified workload driver and the trajectory gate.
+
+The heavyweight paths (full matrix runs, broker variants) are exercised by
+the `bench-trajectory` and smoke CI jobs; here we pin the cheap invariants
+those jobs rely on: output normalization, matrix well-formedness, sha
+resolution and the pass/fail logic of ``check_bench_trajectory.py``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.results.bench import MATRICES, normalize_output, resolve_sha
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS_DIR))
+
+import check_bench_trajectory  # noqa: E402
+from check_state_hotpath import compare_means  # noqa: E402
+
+
+class TestNormalization:
+    def test_drops_exactly_the_ci_noise_lines(self):
+        raw = "\n".join([
+            "query                      : output contains err",
+            "injections run             : 12",
+            "elapsed seconds            : 1.234",
+            "workers   : 2",
+            "backend   : distributed",
+            "total solutions            : 3",
+        ])
+        normalized = normalize_output(raw)
+        assert "elapsed seconds" not in normalized
+        assert "workers" not in normalized
+        assert "backend" not in normalized
+        assert "injections run             : 12" in normalized
+        assert "total solutions            : 3" in normalized
+
+    def test_identical_sweeps_normalize_identically(self):
+        a = "injections run : 5\nelapsed seconds : 1.0\n"
+        b = "injections run : 5\nelapsed seconds : 9.9\n"
+        assert normalize_output(a) == normalize_output(b)
+
+
+class TestMatrices:
+    def test_entry_ids_are_unique_per_matrix(self):
+        for name, entries in MATRICES.items():
+            ids = [entry["id"] for entry in entries]
+            assert len(ids) == len(set(ids)), f"duplicate ids in {name!r}"
+
+    def test_full_matrix_extends_ci(self):
+        ci_ids = {entry["id"] for entry in MATRICES["ci"]}
+        full_ids = {entry["id"] for entry in MATRICES["full"]}
+        assert ci_ids < full_ids
+
+    def test_ci_matrix_contains_the_streaming_rss_pair(self):
+        ids = {entry["id"] for entry in MATRICES["ci"]}
+        assert set(check_bench_trajectory.STREAM_PAIR) <= ids
+
+    def test_resolve_sha_prefers_the_explicit_argument(self):
+        assert resolve_sha("abc123") == "abc123"
+
+
+def point(sha, entries, created="2026-08-08T00:00:00+00:00"):
+    return {"schema_version": 1, "sha": sha, "matrix": "ci",
+            "created": created,
+            "entries": [
+                {"id": entry_id, "wall_clock_seconds": wall,
+                 "max_rss_kb": rss}
+                for entry_id, wall, rss in entries
+            ]}
+
+
+def write_point(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestTrajectoryGate:
+    BASE = [("factorial-register-errout", 1.0, 25_000),
+            ("replace-results-stream-1x", 2.0, 90_000),
+            ("replace-results-stream-10x", 8.0, 150_000)]
+
+    def test_within_tolerance_passes(self, tmp_path):
+        baseline = write_point(tmp_path / "base.json", point("aaa", self.BASE))
+        fresh = write_point(tmp_path / "fresh.json", point("bbb", [
+            (i, w * 1.1, r) for i, w, r in self.BASE]))
+        assert check_bench_trajectory.check(fresh, baseline) == 0
+
+    def test_wall_clock_regression_fails(self, tmp_path):
+        baseline = write_point(tmp_path / "base.json", point("aaa", self.BASE))
+        fresh = write_point(tmp_path / "fresh.json", point("bbb", [
+            (i, w * (1.5 if i == "factorial-register-errout" else 1.0), r)
+            for i, w, r in self.BASE]))
+        assert check_bench_trajectory.check(fresh, baseline) == 1
+
+    def test_missing_entry_fails(self, tmp_path):
+        baseline = write_point(tmp_path / "base.json", point("aaa", self.BASE))
+        fresh = write_point(tmp_path / "fresh.json",
+                            point("bbb", self.BASE[:-1]))
+        assert check_bench_trajectory.check(fresh, baseline) == 1
+
+    def test_rss_blowup_on_the_streaming_pair_fails(self, tmp_path):
+        baseline = write_point(tmp_path / "base.json", point("aaa", self.BASE))
+        fresh = write_point(tmp_path / "fresh.json", point("bbb", [
+            (i, w, r * (4 if i == "replace-results-stream-10x" else 1))
+            for i, w, r in self.BASE]))
+        assert check_bench_trajectory.check(fresh, baseline) == 1
+
+    def test_first_point_passes_when_no_baseline_committed(self, tmp_path,
+                                                           monkeypatch):
+        monkeypatch.setattr(check_bench_trajectory, "TRAJECTORY_DIR",
+                            tmp_path / "empty")
+        fresh = write_point(tmp_path / "fresh.json", point("bbb", self.BASE))
+        assert check_bench_trajectory.check(fresh) == 0
+
+    def test_latest_committed_point_is_picked_by_created_time(self, tmp_path,
+                                                              monkeypatch):
+        trajectory = tmp_path / "trajectory"
+        trajectory.mkdir()
+        write_point(trajectory / "BENCH_zzz.json",
+                    point("zzz", self.BASE, created="2026-01-01T00:00:00+00:00"))
+        newer = [(i, w * 0.5, r) for i, w, r in self.BASE]
+        write_point(trajectory / "BENCH_aaa.json",
+                    point("aaa", newer, created="2026-06-01T00:00:00+00:00"))
+        monkeypatch.setattr(check_bench_trajectory, "TRAJECTORY_DIR",
+                            trajectory)
+        located = check_bench_trajectory.latest_committed_point()
+        assert located is not None
+        doc, path = located
+        assert doc["sha"] == "aaa"  # newest by created, not by filename
+        # The newer (faster) baseline makes the old timings regress.
+        fresh = write_point(tmp_path / "fresh.json", point("bbb", self.BASE))
+        assert check_bench_trajectory.check(fresh) == 1
+
+    def test_compare_means_reports_missing_names(self, capsys):
+        failures = compare_means({"a": 1.0, "b": 2.0}, {"a": 1.0}, 1.2)
+        assert any("not measured" in failure for failure in failures)
+        out = capsys.readouterr().out
+        assert "MISSING" in out

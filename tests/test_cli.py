@@ -265,8 +265,14 @@ class TestAnalyzeFaultModels:
     def test_every_model_sweeps_and_reports(self, model, capsys):
         out = fault_model_output(capsys, model)
         assert f"fault model    : {model}" in out
-        assert "sampled        : 5 (seed 7)" in out
-        assert "injections run" in out
+        # The printed count is the *clamped* sample size: memory_walk's
+        # memory-model space is a single injection, so --sample 5 sweeps 1.
+        import re
+        match = re.search(r"sampled        : (\d+) \(seed 7\)", out)
+        assert match is not None
+        assert int(match.group(1)) <= 5
+        run = re.search(r"injections run             : (\d+)", out)
+        assert run is not None and int(run.group(1)) == int(match.group(1))
 
     def test_sampled_sweep_is_reproducible(self, capsys):
         first = fault_model_output(capsys, "operand")
@@ -291,3 +297,52 @@ class TestAnalyzeFaultModels:
                      "--max-states", "5000"])
         assert code == 0
         assert "final state retains err" in capsys.readouterr().out
+
+
+class TestResultsWarehouse:
+    def test_analyze_streams_into_a_store_and_report_reads_it(
+            self, tmp_path, capsys):
+        db = str(tmp_path / "warehouse.sqlite")
+        assert main(["analyze", "--workload", "factorial", "--query",
+                     "err-output", "--max-injections", "6",
+                     "--results", db]) == 0
+        captured = capsys.readouterr()
+        assert "results store: " in captured.err
+        assert "campaign 1" in captured.err
+        assert main(["report", "--results", db]) == 0
+        report = capsys.readouterr().out
+        assert "campaign 1" in report
+        assert "workload=factorial" in report
+        assert "outcome distribution (all campaigns):" in report
+
+    def test_store_backed_output_matches_in_memory_output(self, tmp_path,
+                                                          capsys):
+        plain = fault_model_output(capsys, "register")
+        stored = fault_model_output(
+            capsys, "register",
+            "--results", str(tmp_path / "warehouse.sqlite"))
+        assert normalized(plain) == normalized(stored)
+
+    def test_report_accumulates_campaigns_across_runs(self, tmp_path, capsys):
+        db = str(tmp_path / "warehouse.sqlite")
+        fault_model_output(capsys, "register", "--results", db)
+        fault_model_output(capsys, "operand", "--results", db)
+        assert main(["report", "--results", db]) == 0
+        report = capsys.readouterr().out
+        assert "campaign 1" in report and "campaign 2" in report
+        assert main(["report", "--results", db, "--campaign", "2"]) == 0
+        assert "injections run" in capsys.readouterr().out
+
+    def test_report_on_a_missing_store_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", "--results", str(tmp_path / "missing.sqlite")])
+
+    def test_oversized_sample_clamps_at_the_cli(self, capsys):
+        with pytest.warns(RuntimeWarning, match="exceeds the enumerated"):
+            code = main(["analyze", "--workload", "factorial", "--query",
+                         "err-output", "--fault-model", "register",
+                         "--sample", "100000", "--max-states", "5000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sampled" in out
+        assert "100000" not in out  # the printed count is the clamped one

@@ -126,6 +126,28 @@ class TestEnumerationDeterminism:
         with pytest.raises(ValueError, match=">= 1"):
             deterministic_sample([], 0)
 
+    @pytest.mark.parametrize("name", sorted(FAULT_MODELS))
+    def test_oversized_sample_clamps_to_the_full_space_with_a_warning(
+            self, name, factorial):
+        """`--sample K` with K beyond the enumerated space used to be a
+        hard error from random.sample; it now clamps to the full sweep."""
+        model = FAULT_MODELS[name]
+        space = model.enumerate(factorial.program,
+                                memory=factorial.data_segment)
+        with pytest.warns(RuntimeWarning, match="exceeds the enumerated"):
+            clamped = model.sample(factorial.program, len(space) + 5,
+                                   memory=factorial.data_segment)
+        assert clamped == space
+
+    def test_exact_sample_size_sweeps_the_full_space_silently(self, factorial):
+        import warnings
+
+        model = FAULT_MODELS["register"]
+        space = model.enumerate(factorial.program)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert model.sample(factorial.program, len(space)) == space
+
 
 # ------------------------------------------------------------ spec semantics
 

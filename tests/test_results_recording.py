@@ -1,0 +1,205 @@
+"""Streaming ingestion, the store-backed campaign result and `repro report`.
+
+The acceptance property behind the streaming mode — "coordinator memory
+stays flat as the sweep grows" — is asserted here *directly* with
+tracemalloc over fabricated fat results: retained sweeps peak linearly in
+the sweep size, streamed sweeps peak at a handful of in-flight results
+plus one store batch, no matter how many injections pass through.
+"""
+
+import gc
+import tracemalloc
+
+import pytest
+
+from repro.constraints import Location
+from repro.core import (ExecutionStrategy, SerialExecutionStrategy,
+                        SymbolicCampaign, output_contains_err)
+from repro.core.campaign import CampaignResult, InjectionResult
+from repro.errors import Injection
+from repro.machine import ExecutionConfig
+from repro.programs import factorial_workload
+from repro.results import (MemoryResultStore, OutcomeAggregates,
+                           RecordingStrategy, SqliteResultStore,
+                           StoredCampaignResult, StoredResultsView,
+                           format_report)
+
+
+@pytest.fixture()
+def campaign():
+    workload = factorial_workload()
+    return SymbolicCampaign(
+        workload.program, input_values=workload.default_input,
+        memory=workload.data_segment, detectors=workload.detectors,
+        execution_config=ExecutionConfig(
+            max_steps=workload.recommended_max_steps),
+        max_states_per_injection=20_000), workload.golden_output()
+
+
+def without_elapsed(text):
+    return [line for line in text.splitlines() if "elapsed seconds" not in line]
+
+
+class TestStreamingEquivalence:
+    def test_stored_result_is_byte_identical_to_in_memory(self, campaign):
+        campaign, golden = campaign
+        query = output_contains_err()
+        plain = campaign.run(query)
+        store = MemoryResultStore()
+        recording = RecordingStrategy(SerialExecutionStrategy(), store,
+                                      golden_output=golden)
+        stored = campaign.run(query, strategy=recording)
+        assert isinstance(stored, StoredCampaignResult)
+        assert isinstance(stored.results, StoredResultsView)
+        assert without_elapsed(stored.describe()) \
+            == without_elapsed(plain.describe())
+        assert [r.injection.label() for r in stored.results] \
+            == [r.injection.label() for r in plain.results]
+        assert stored.results[0].injection.label() \
+            == plain.results[0].injection.label()
+        assert stored.results[-1].injection.label() \
+            == plain.results[-1].injection.label()
+        assert stored.all_completed == plain.all_completed
+
+    def test_store_aggregates_equal_in_memory_aggregates(self, campaign):
+        """`repro report` reads these aggregates; they must equal a full
+        in-memory fold of the same sweep."""
+        campaign, golden = campaign
+        query = output_contains_err()
+        plain = campaign.run(query)
+        store = MemoryResultStore()
+        recording = RecordingStrategy(SerialExecutionStrategy(), store,
+                                      golden_output=golden)
+        campaign.run(query, strategy=recording)
+        direct = OutcomeAggregates.from_campaign_result(plain, golden)
+        assert recording.aggregates.as_dict() == direct.as_dict()
+        assert store.aggregates(recording.campaign_id).as_dict() \
+            == direct.as_dict()
+
+    def test_streaming_returns_no_retained_results(self, campaign):
+        campaign, golden = campaign
+        query = output_contains_err()
+        injections = campaign.plan_injections()
+        store = MemoryResultStore()
+        recording = RecordingStrategy(SerialExecutionStrategy(), store,
+                                      golden_output=golden)
+        returned = recording.run(campaign, injections, query)
+        assert returned == []  # nothing retained by the coordinator
+        result = recording.make_campaign_result(query, returned)
+        assert isinstance(result, StoredCampaignResult)
+        assert len(result.results) == len(injections)
+        record = store.campaign(recording.campaign_id)
+        assert record.finished and record.elapsed_seconds is not None
+
+    def test_previously_installed_sink_still_sees_every_result(self, campaign):
+        campaign, golden = campaign
+        query = output_contains_err()
+        injections = campaign.plan_injections()
+        inner = SerialExecutionStrategy()
+        seen = []
+        inner.result_sink = lambda injection, result: seen.append(injection)
+        recording = RecordingStrategy(inner, MemoryResultStore(),
+                                      golden_output=golden)
+        recording.run(campaign, injections, query)
+        assert [i.label() for i in seen] == [i.label() for i in injections]
+        assert inner.result_sink is not None  # restored, not clobbered
+
+    def test_retained_mode_populates_the_same_rows(self, campaign):
+        """`--checkpoint` forces retained mode; the warehouse rows must be
+        the same ones streaming would have written."""
+        campaign, golden = campaign
+        query = output_contains_err()
+        store = MemoryResultStore()
+        recording = RecordingStrategy(SerialExecutionStrategy(), store,
+                                      golden_output=golden, retain=True)
+        result = campaign.run(query, strategy=recording)
+        assert isinstance(result, CampaignResult)
+        assert not isinstance(result, StoredCampaignResult)
+        assert store.count(recording.campaign_id) == result.injections_run
+        assert store.aggregates(recording.campaign_id).as_dict() \
+            == OutcomeAggregates.from_campaign_result(result, golden).as_dict()
+
+
+class FatResultStrategy(ExecutionStrategy):
+    """Emits one fabricated result per injection, each carrying a payload
+    of a known size — so coordinator retention shows up in tracemalloc as
+    an unmistakable linear term."""
+
+    name = "fat"
+
+    def __init__(self, payload_bytes):
+        self.payload_bytes = payload_bytes
+
+    def run(self, campaign, injections, query, progress=None):
+        retained = []
+        for injection in injections:
+            result = InjectionResult(injection=injection, activated=True)
+            result.payload = bytes(self.payload_bytes)
+            if self.retain_results:
+                retained.append(result)
+            self.emit_result(injection, result)
+        return retained
+
+
+class TestStreamingMemory:
+    PAYLOAD = 128 * 1024
+    SWEEP = 64
+
+    def injections(self):
+        return [Injection(breakpoint_pc=pc, target=Location.register(1))
+                for pc in range(self.SWEEP)]
+
+    def peak_of(self, run):
+        gc.collect()
+        tracemalloc.start()
+        try:
+            run()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    def test_streamed_peak_is_flat_retained_peak_is_linear(self, tmp_path):
+        query = output_contains_err()
+
+        def retained_run():
+            strategy = FatResultStrategy(self.PAYLOAD)
+            results = strategy.run(None, self.injections(), query)
+            assert len(results) == self.SWEEP
+
+        def streamed_run():
+            store = SqliteResultStore(str(tmp_path / "stream.sqlite"),
+                                      batch_size=4)
+            recording = RecordingStrategy(FatResultStrategy(self.PAYLOAD),
+                                          store)
+            assert recording.run(None, self.injections(), query) == []
+            assert store.count(recording.campaign_id) == self.SWEEP
+            store.close()
+
+        retained_peak = self.peak_of(retained_run)
+        streamed_peak = self.peak_of(streamed_run)
+        # Retained holds all SWEEP payloads at once; streaming holds the
+        # in-flight result, its pickle and at most one store batch.
+        assert retained_peak > self.SWEEP * self.PAYLOAD
+        assert streamed_peak < retained_peak / 3
+
+
+class TestReport:
+    def test_report_sections_from_a_real_sweep(self, campaign):
+        campaign, golden = campaign
+        store = MemoryResultStore()
+        recording = RecordingStrategy(
+            SerialExecutionStrategy(), store, golden_output=golden,
+            meta={"workload": "factorial", "fault_model": "register"})
+        campaign.run(output_contains_err(), strategy=recording)
+        report = format_report(store)
+        assert "campaign 1" in report
+        assert "workload=factorial" in report
+        assert "outcome distribution (all campaigns):" in report
+        assert "per-fault-model coverage:" in report
+        assert "latent-error rates:" in report
+        single = format_report(store, campaign_id=recording.campaign_id)
+        assert "injections run" in single
+        assert "solution outcome kinds" in single
+        with pytest.raises(KeyError):
+            format_report(store, campaign_id=999)
