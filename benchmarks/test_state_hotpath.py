@@ -17,7 +17,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.machine import run_concrete, run_concrete_legacy
+from repro.machine.executor import ExecutionConfig, Executor
 from repro.machine.state import initial_state
+from repro.programs import load_workload
 
 BENCH_RECORD = Path(__file__).resolve().parent / "data" / "state_hotpath_bench.json"
 
@@ -77,6 +80,68 @@ def test_fingerprint_dedup_hit_cost(benchmark):
         assert state.fingerprint() in seen
 
     benchmark(dedup_duplicate_state)
+
+
+# --------------------------------------------------------------------------
+# INTERP — stepping hot path (pre-decoded dispatch, superblocks).
+#
+# The golden factorial run is short (~36 instructions), so each benchmark
+# round times one complete decode-cache-warm execution: per-instruction
+# dispatch cost dominates and a regression of the decoded tables or the
+# superblock planner shows up as a step change.  The legacy variant is kept
+# as the in-run reference point: decoded must stay well under it.
+
+@pytest.fixture(scope="module")
+def factorial_workload():
+    return load_workload("factorial")
+
+
+@pytest.mark.benchmark(group="interp-hotpath")
+def test_concrete_run_decoded_cost(benchmark, factorial_workload):
+    """Superblock-fused ``run_concrete`` over the factorial golden run."""
+    workload = factorial_workload
+
+    def golden_run():
+        state = workload.initial_state()
+        run_concrete(workload.program, state, workload.detectors,
+                     workload.recommended_max_steps)
+        return state
+
+    state = benchmark(golden_run)
+    assert not state.is_running
+
+
+@pytest.mark.benchmark(group="interp-hotpath")
+def test_concrete_run_legacy_cost(benchmark, factorial_workload):
+    """The legacy string-dispatch ``run_concrete_legacy`` reference."""
+    workload = factorial_workload
+
+    def golden_run():
+        state = workload.initial_state()
+        run_concrete_legacy(workload.program, state, workload.detectors,
+                            workload.recommended_max_steps)
+        return state
+
+    state = benchmark(golden_run)
+    assert not state.is_running
+
+
+@pytest.mark.benchmark(group="interp-hotpath")
+def test_symbolic_step_decoded_cost(benchmark, factorial_workload):
+    """``Executor.step`` through the decoded dispatch table (golden path)."""
+    workload = factorial_workload
+    executor = Executor(workload.program, workload.detectors,
+                        ExecutionConfig(
+                            max_steps=workload.recommended_max_steps))
+
+    def golden_run():
+        state = workload.initial_state()
+        while state.is_running:
+            [state] = executor.step(state)
+        return state
+
+    state = benchmark(golden_run)
+    assert not state.is_running
 
 
 def test_recorded_campaign_speedup_is_at_least_2x():

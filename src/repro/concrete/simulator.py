@@ -17,6 +17,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..detectors import DetectorSet, EMPTY_DETECTORS
 from ..errors.injector import Injection, apply_corruption
 from ..isa.program import Program
+from ..machine.decode import decoded_program
 from ..machine.executor import run_concrete, run_concrete_until
 from ..machine.state import MachineState, Status, initial_state
 from ..core.outcomes import Outcome, classify
@@ -48,6 +49,10 @@ class ConcreteSimulator:
         self.program = program
         self.detectors = detectors
         self.max_steps = max_steps
+        # Warm the decode cache up front: a simulator drives thousands of
+        # short runs over one program, and decoding at construction keeps the
+        # one-time cost out of the first experiment's timing.
+        decoded_program(program)
 
     def fresh_state(self, input_values: Sequence[int] = (),
                     memory: Optional[Dict[int, int]] = None) -> MachineState:

@@ -2,14 +2,22 @@
 
 from __future__ import annotations
 
+from typing import Optional
 
 from .codegen import CodeGenerator, CompiledProgram
 from .parser import parse_source
+from .peephole import peephole_compiled, peephole_enabled_by_env
 
 
 def compile_source(source: str, name: str = "minic",
-                   entry_function: str = "main") -> CompiledProgram:
+                   entry_function: str = "main",
+                   peephole: Optional[bool] = None) -> CompiledProgram:
     """Compile minic *source* into a SymPLFIED program plus its data segment.
+
+    *peephole* selects the conservative post-codegen cleanup pass
+    (:mod:`repro.lang.peephole`); ``None`` defers to the ``REPRO_PEEPHOLE``
+    environment variable, which defaults to off — campaigns must stay
+    byte-identical across the switch before it may be defaulted on.
 
     Raises :class:`~repro.lang.lexer.LexerError`,
     :class:`~repro.lang.parser.ParseError` or
@@ -19,4 +27,8 @@ def compile_source(source: str, name: str = "minic",
     generator = CodeGenerator(unit, name=name, entry_function=entry_function)
     compiled = generator.compile()
     compiled.source = source
+    if peephole is None:
+        peephole = peephole_enabled_by_env()
+    if peephole:
+        compiled, _stats = peephole_compiled(compiled)
     return compiled

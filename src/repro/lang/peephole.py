@@ -1,0 +1,186 @@
+"""Conservative, order-preserving peephole pass over generated code.
+
+Runs after :mod:`repro.lang.codegen` and before the program is handed to the
+machine model.  Only transformations that are *observably identical* under
+the machine semantics — including the step counter, which the campaign layer
+uses for timeouts and cache keys — are candidates, and even those are
+applied conservatively:
+
+* ``mov $r, $r`` — a register moved onto itself — is removed,
+* a ``beq`` / ``bne`` / ``jmp`` whose target is the directly following
+  instruction is removed (taken and not-taken paths coincide),
+* ``set*`` / branch pairs that could fuse into a single compare-and-branch
+  are *counted* (``fusion_candidates``) but never rewritten: fusing would
+  drop the comparison's register write, which is observable.
+
+Removing an instruction renumbers every later code address, so the pass
+remaps the label table, the per-address source lines and (for
+:class:`~repro.lang.codegen.CompiledProgram`) the function regions.  The
+pass iterates to a fixpoint — removing a jump-to-next can expose another.
+
+The pass is OFF by default everywhere: removing instructions changes step
+counts at injection breakpoints, so enabling it mid-flight would invalidate
+recorded campaigns.  ``repro bench --expect-identical`` gates the
+``peephole`` variant (compiled workloads must produce byte-identical
+campaign output with the pass enabled) before it may be defaulted on — the
+current code generator never emits a removable instruction for the shipped
+workloads, and the gate keeps future codegen changes honest.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Category, Instruction
+from ..isa.program import Program
+
+#: Environment variable consulted when a caller does not pick explicitly.
+PEEPHOLE_ENV_VAR = "REPRO_PEEPHOLE"
+
+#: Safety valve on fixpoint iteration (each pass removes at least one
+#: instruction, so this bound is never reached in practice).
+_MAX_PASSES = 32
+
+
+@dataclass
+class PeepholeStats:
+    """What one :func:`peephole_program` run did (and could have done)."""
+
+    removed_movs: int = 0
+    removed_branches: int = 0
+    fusion_candidates: int = 0
+    passes: int = 0
+
+    @property
+    def removed(self) -> int:
+        return self.removed_movs + self.removed_branches
+
+    def describe(self) -> str:
+        return (f"peephole: removed {self.removed_movs} self-movs, "
+                f"{self.removed_branches} branches-to-next "
+                f"({self.fusion_candidates} compare/branch fusion "
+                f"candidates left intact) in {self.passes} pass(es)")
+
+
+def peephole_enabled_by_env() -> bool:
+    """The default on/off switch (:data:`PEEPHOLE_ENV_VAR`, default off)."""
+    return os.environ.get(PEEPHOLE_ENV_VAR, "").strip().lower() \
+        in ("1", "true", "on", "yes")
+
+
+def _is_self_mov(instruction: Instruction) -> bool:
+    return (instruction.opcode == "mov"
+            and instruction.operands[0] == instruction.operands[1])
+
+
+def _is_branch_to_next(instruction: Instruction, address: int,
+                       labels: Dict[str, int]) -> bool:
+    if instruction.opcode in ("beq", "bne"):
+        return labels.get(instruction.operands[2]) == address + 1
+    if instruction.opcode == "jmp":
+        return labels.get(instruction.operands[0]) == address + 1
+    return False
+
+
+def _count_fusion_candidates(program: Program) -> int:
+    """``set*`` directly feeding a ``beq``/``bne`` on the same register."""
+    count = 0
+    for address in range(len(program) - 1):
+        first, second = program.code[address], program.code[address + 1]
+        if first.category is not Category.COMPARE:
+            continue
+        if second.opcode not in ("beq", "bne"):
+            continue
+        if first.operands[0] == second.operands[0]:
+            count += 1
+    return count
+
+
+def _remove_pass(program: Program, stats: PeepholeStats) -> Optional[Program]:
+    """One sweep of removals; returns the remapped program or ``None``."""
+    drop: List[bool] = []
+    for address, instruction in enumerate(program.code):
+        if _is_self_mov(instruction):
+            drop.append(True)
+            stats.removed_movs += 1
+        elif _is_branch_to_next(instruction, address, program.labels):
+            drop.append(True)
+            stats.removed_branches += 1
+        else:
+            drop.append(False)
+    if not any(drop):
+        return None
+
+    # new_address[old] = old minus the number of drops strictly before old:
+    # a surviving address keeps its shifted position and a dropped address
+    # maps onto its surviving successor (same formula).  One extra slot
+    # covers labels attached to the end-of-code address.
+    new_address: List[int] = []
+    removed = 0
+    for address in range(len(program) + 1):
+        new_address.append(address - removed)
+        if address < len(program) and drop[address]:
+            removed += 1
+    code = tuple(instruction for address, instruction in enumerate(program.code)
+                 if not drop[address])
+    labels = {name: new_address[address]
+              for name, address in program.labels.items()}
+    source_lines = {new_address[address]: text
+                    for address, text in program.source_lines.items()
+                    if not drop[address]}
+    return Program(code=code, labels=labels, source_lines=source_lines,
+                   name=program.name)
+
+
+def peephole_program(program: Program) -> Tuple[Program, PeepholeStats]:
+    """Apply the pass to *program* until nothing more can be removed."""
+    stats = PeepholeStats()
+    current = program
+    for _ in range(_MAX_PASSES):
+        stats.passes += 1
+        result = _remove_pass(current, stats)
+        if result is None:
+            break
+        current = result
+    stats.fusion_candidates = _count_fusion_candidates(current)
+    return current, stats
+
+
+def peephole_compiled(compiled) -> Tuple[object, PeepholeStats]:
+    """Apply the pass to a :class:`~repro.lang.codegen.CompiledProgram`.
+
+    Function regions are remapped through the same address translation as
+    the label table, so ``function_region`` / ``function_pcs`` stay correct.
+    """
+    program = compiled.program
+    optimised, stats = peephole_program(program)
+    if stats.removed == 0:
+        return compiled, stats
+
+    # Rebuild the old->new address map by replaying the surviving labels:
+    # they are the only anchors shared between the two programs, and every
+    # function boundary is labelled by the code generator.  For safety the
+    # translation below recomputes the map directly instead.
+    survivors: List[int] = []
+    cursor = 0
+    old_code = program.code
+    new_code = optimised.code
+    for address, instruction in enumerate(old_code):
+        if cursor < len(new_code) and new_code[cursor] is instruction:
+            survivors.append(cursor)
+            cursor += 1
+        else:
+            survivors.append(cursor)  # dropped: maps to next survivor
+    survivors.append(len(new_code))  # end-of-code address
+
+    functions = {
+        name: replace(info,
+                      start_pc=survivors[info.start_pc]
+                      if 0 <= info.start_pc < len(survivors) else info.start_pc,
+                      end_pc=survivors[info.end_pc]
+                      if 0 <= info.end_pc < len(survivors) else info.end_pc)
+        for name, info in compiled.functions.items()
+    }
+    return replace(compiled, program=optimised, functions=functions), stats

@@ -1,0 +1,520 @@
+"""One-time pre-decoding of a :class:`~repro.isa.program.Program`.
+
+Both interpreters used to re-derive everything from instruction *strings* on
+every step: opcode comparisons, ``IMMEDIATE_ALIASES`` lookups,
+``compare_base_opcode`` suffix stripping, label resolution and
+``spec.signature`` inspection.  This module performs all of that work exactly
+once per program and caches the result, so the hot loops become
+``handlers[pc](state, decoded[pc])`` with zero string work:
+
+* :class:`DecodedInstruction` — a dense record per code address: resolved
+  register indices, pre-parsed immediates, the normalised binary operator and
+  its concrete implementation, the pre-computed :class:`ComparisonOp` (and its
+  plain-Python evaluator), pre-resolved branch/jump/call targets, and the
+  pre-rendered assembly text used by traces and error messages.
+
+* per-address *concrete ops* — tiny specialised Python functions (one per
+  instruction, generated and ``exec``-compiled once) implementing the exact
+  semantics of the legacy ``concrete_step`` string dispatch for that single
+  instruction.
+
+* *superblocks* — runs of straight-line, non-forking instructions fused into
+  a single generated function.  ``run_concrete`` enters a superblock when the
+  program counter sits on a block leader and the step budget allows the whole
+  block; faults, detectors (``check``), control transfers and interpreter
+  breakpoints fall back to the single-instruction ops, so observable
+  semantics are bit-identical to single-stepping.
+
+* memoised static *control-fork target* sets for every
+  ``control_fork_domain`` setting, replacing the per-fork
+  ``label_addresses()`` sort.
+
+All generated code mutates state exclusively through the CoW write API
+(``write_register`` / ``write_memory`` / ``append_output``), preserving the
+incremental fingerprint and err-census bookkeeping.
+
+The cache is keyed by program identity with weakref eviction and is rebuilt
+inside worker processes — decoded tables are never pickled (generated
+functions could not be, and the rebuild is a one-time cost per worker).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..constraints import ComparisonOp
+from ..detectors import execute_detector
+from ..errors.propagation import (IMMEDIATE_ALIASES, _CONCRETE_OPS,
+                                  _concrete_div, _concrete_mod)
+from ..isa.instructions import (Category, Instruction, OperandKind,
+                                RETURN_ADDRESS_REGISTER, compare_base_opcode)
+from ..isa.program import Program
+from ..isa.values import ERR
+from .exceptions import (DIVIDE_BY_ZERO, ILLEGAL_ADDRESS, ILLEGAL_INSTRUCTION,
+                         INPUT_EXHAUSTED, MachineModelError,
+                         SymbolicValueEncountered, detector_exception)
+
+#: Comparison operator implemented by each comparison-setter opcode.
+COMPARE_OPS: Dict[str, ComparisonOp] = {
+    "seteq": ComparisonOp.EQ, "setne": ComparisonOp.NE,
+    "setgt": ComparisonOp.GT, "setlt": ComparisonOp.LT,
+    "setge": ComparisonOp.GE, "setle": ComparisonOp.LE,
+}
+
+#: Plain-Python evaluator per comparison operator (avoids the enum method
+#: chain on the concrete fast path).
+_COMPARE_FNS: Dict[ComparisonOp, Callable[[int, int], bool]] = {
+    ComparisonOp.EQ: lambda a, b: a == b,
+    ComparisonOp.NE: lambda a, b: a != b,
+    ComparisonOp.GT: lambda a, b: a > b,
+    ComparisonOp.LT: lambda a, b: a < b,
+    ComparisonOp.GE: lambda a, b: a >= b,
+    ComparisonOp.LE: lambda a, b: a <= b,
+}
+
+#: Python infix spelling of each binary operator with one (add / sub / ...);
+#: div and mod use the C-style truncating helpers instead.
+_INFIX_OPS = {
+    "add": "+", "sub": "-", "mult": "*", "and": "&", "or": "|",
+    "xor": "^", "sll": "<<", "srl": ">>",
+}
+
+_COMPARE_INFIX = {
+    ComparisonOp.EQ: "==", ComparisonOp.NE: "!=", ComparisonOp.GT: ">",
+    ComparisonOp.LT: "<", ComparisonOp.GE: ">=", ComparisonOp.LE: "<=",
+}
+
+#: Categories that a superblock may fuse: deterministic on concrete state,
+#: no forking, fall through to pc + 1.  Control transfers, ``check`` and the
+#: terminating specials stay single-stepped.
+STRAIGHTLINE_CATEGORIES = frozenset((
+    Category.ARITHMETIC, Category.COMPARE, Category.MOVE, Category.LOAD,
+    Category.STORE, Category.IO_READ, Category.IO_WRITE,
+))
+
+#: Maximum number of instructions fused into one superblock.
+SUPERBLOCK_LIMIT = 32
+
+
+def is_straightline(instruction: Instruction) -> bool:
+    """True if *instruction* may be fused into a superblock."""
+    category = instruction.category
+    if category in STRAIGHTLINE_CATEGORIES:
+        return True
+    return category is Category.SPECIAL and instruction.opcode == "nop"
+
+
+class DecodedInstruction:
+    """Fully decoded form of one instruction at a fixed code address.
+
+    The generic operand slots ``a`` / ``b`` / ``c`` are category-specific:
+
+    ========== ============= ============ ===========================
+    category    a             b            c
+    ========== ============= ============ ===========================
+    arithmetic  rd            rs           third (reg index or imm)
+    compare     rd            rs           third (reg index or imm)
+    move        rd            src/imm      --
+    load        rt            rs           offset
+    store       rt            rs           offset
+    branch      rs            --           immediate
+    jump/call   --            --           --
+    jr          rs            --           --
+    io read     rd            --           --
+    io write    operand       --           --
+    check       detector id   --           --
+    special     --            message      --
+    ========== ============= ============ ===========================
+    """
+
+    __slots__ = ("pc", "next_pc", "instruction", "opcode", "category", "text",
+                 "source", "a", "b", "c", "third_is_reg", "operator", "op_fn",
+                 "divmod", "compare_op", "compare_fn", "target", "special",
+                 "is_mov", "is_print")
+
+    def __init__(self, pc: int, instruction: Instruction,
+                 program: Program) -> None:
+        self.pc = pc
+        self.next_pc = pc + 1
+        self.instruction = instruction
+        self.opcode = instruction.opcode
+        self.category = instruction.category
+        self.text = instruction.render()
+        self.source = program.source_lines.get(pc, self.text)
+        self.a: object = None
+        self.b: object = None
+        self.c: object = None
+        self.third_is_reg = False
+        self.operator: Optional[str] = None
+        self.op_fn: Optional[Callable[[int, int], int]] = None
+        self.divmod = False
+        self.compare_op: Optional[ComparisonOp] = None
+        self.compare_fn: Optional[Callable[[int, int], bool]] = None
+        self.target: Optional[int] = None
+        self.special: Optional[str] = None
+        self.is_mov = False
+        self.is_print = False
+
+        operands = instruction.operands
+        category = self.category
+        if category is Category.ARITHMETIC:
+            self.a, self.b, self.c = operands
+            self.third_is_reg = \
+                instruction.spec.signature[2] is OperandKind.REGISTER
+            self.operator = IMMEDIATE_ALIASES.get(self.opcode, self.opcode)
+            self.op_fn = _CONCRETE_OPS[self.operator]
+            self.divmod = self.operator in ("div", "mod")
+        elif category is Category.COMPARE:
+            self.a, self.b, self.c = operands
+            self.third_is_reg = \
+                instruction.spec.signature[2] is OperandKind.REGISTER
+            self.compare_op = COMPARE_OPS[compare_base_opcode(self.opcode)]
+            self.compare_fn = _COMPARE_FNS[self.compare_op]
+        elif category is Category.MOVE:
+            self.a, self.b = operands
+            self.is_mov = self.opcode == "mov"
+        elif category in (Category.LOAD, Category.STORE):
+            self.a, self.b, self.c = operands
+        elif category is Category.BRANCH:
+            self.a, self.c, label = operands
+            self.target = program.resolve(label)
+            self.compare_op = ComparisonOp.EQ if self.opcode == "beq" \
+                else ComparisonOp.NE
+            self.compare_fn = _COMPARE_FNS[self.compare_op]
+        elif category in (Category.JUMP, Category.CALL):
+            self.target = program.resolve(operands[0])
+        elif category in (Category.JUMP_REGISTER, Category.IO_READ,
+                          Category.CHECK):
+            self.a = operands[0]
+        elif category is Category.IO_WRITE:
+            self.a = operands[0]
+            self.is_print = self.opcode == "print"
+        elif category is Category.SPECIAL:
+            if self.opcode in ("halt", "nop", "throw"):
+                self.special = self.opcode
+                if self.opcode == "throw":
+                    self.b = operands[0]
+            else:
+                self.special = "unhandled"
+                self.b = (f"unhandled special opcode {self.opcode} "
+                          f"at pc {pc} ({self.source})")
+
+
+# --------------------------------------------------------------------------
+# Generated concrete ops and superblocks.
+#
+# The emitters below produce the body of one instruction's concrete
+# semantics as source lines over a local ``state`` (and ``detectors`` for
+# ``check``).  The statements replicate the legacy ``concrete_step``
+# behaviour exactly: ``steps`` is incremented before any operand read, the
+# program counter is only advanced at the very end (so a raised
+# ``SymbolicValueEncountered`` leaves it on the faulting instruction), store
+# reads the address register before the value register, and all error
+# messages are byte-identical.
+# --------------------------------------------------------------------------
+
+def _reg_read(lines: List[str], var: str, number: int) -> None:
+    if number == 0:
+        lines.append(f"    {var} = 0")
+        return
+    lines.append(f"    {var} = state.read_register({number})")
+    lines.append(f"    if {var} is _ERR:")
+    lines.append(f"        raise _SVE('register ${number} is err')")
+
+
+def _emit_concrete(d: DecodedInstruction, next_pc: int) -> List[str]:
+    """Source lines executing *d* on ``state``, falling through to *next_pc*.
+
+    Terminating outcomes (halt / throw / detect) return without touching the
+    program counter, exactly like the legacy interpreter.
+    """
+    lines: List[str] = ["    state.steps += 1"]
+    category = d.category
+    advance = True
+
+    if category is Category.ARITHMETIC:
+        _reg_read(lines, "a", d.b)
+        if d.third_is_reg:
+            _reg_read(lines, "b", d.c)
+            rhs = "b"
+        else:
+            rhs = repr(d.c)
+        if d.divmod:
+            if rhs == "b":
+                lines.append("    if b == 0:")
+                lines.append("        state.throw(_DIVIDE_BY_ZERO)")
+                lines.append("        return")
+            elif d.c == 0:
+                lines.append("    state.throw(_DIVIDE_BY_ZERO)")
+                lines.append("    return")
+            fn = "_div" if d.operator == "div" else "_mod"
+            expr = f"{fn}(a, {rhs})"
+        elif d.operator in _INFIX_OPS:
+            expr = f"a {_INFIX_OPS[d.operator]} {rhs}"
+        else:  # pragma: no cover - exhaustive over _CONCRETE_OPS
+            expr = f"_OPS[{d.operator!r}](a, {rhs})"
+        if not (d.divmod and not d.third_is_reg and d.c == 0):
+            lines.append(f"    state.write_register({d.a}, {expr})")
+        else:
+            advance = False
+    elif category is Category.COMPARE:
+        _reg_read(lines, "a", d.b)
+        if d.third_is_reg:
+            _reg_read(lines, "b", d.c)
+            rhs = "b"
+        else:
+            rhs = repr(d.c)
+        infix = _COMPARE_INFIX[d.compare_op]
+        lines.append(f"    state.write_register({d.a}, "
+                     f"1 if a {infix} {rhs} else 0)")
+    elif category is Category.MOVE:
+        if d.is_mov:
+            _reg_read(lines, "v", d.b)
+            lines.append(f"    state.write_register({d.a}, v)")
+        else:
+            lines.append(f"    state.write_register({d.a}, {d.b!r})")
+    elif category is Category.LOAD:
+        _reg_read(lines, "a", d.b)
+        lines.append(f"    addr = a + {d.c!r}")
+        lines.append("    if not state.is_defined_address(addr):")
+        lines.append("        state.throw(_ILLEGAL_ADDRESS)")
+        lines.append("        return")
+        lines.append("    v = state.read_memory(addr)")
+        lines.append("    if v is _ERR:")
+        lines.append("        raise _SVE('memory %d is err' % addr)")
+        lines.append(f"    state.write_register({d.a}, v)")
+    elif category is Category.STORE:
+        _reg_read(lines, "a", d.b)
+        _reg_read(lines, "v", d.a)
+        lines.append(f"    state.write_memory(a + {d.c!r}, v)")
+    elif category is Category.BRANCH:
+        _reg_read(lines, "a", d.a)
+        infix = _COMPARE_INFIX[d.compare_op]
+        lines.append(f"    state.pc = {d.target} "
+                     f"if a {infix} {d.c!r} else {next_pc}")
+        advance = False
+    elif category is Category.JUMP:
+        lines.append(f"    state.pc = {d.target}")
+        advance = False
+    elif category is Category.CALL:
+        lines.append(f"    state.write_register({RETURN_ADDRESS_REGISTER}, "
+                     f"{d.next_pc})")
+        lines.append(f"    state.pc = {d.target}")
+        advance = False
+    elif category is Category.JUMP_REGISTER:
+        _reg_read(lines, "a", d.a)
+        lines.append(f"    if a.__class__ is int and 0 <= a < _CODE_LEN:")
+        lines.append("        state.pc = a")
+        lines.append("    else:")
+        lines.append("        state.throw(_ILLEGAL_INSTRUCTION)")
+        advance = False
+    elif category is Category.IO_READ:
+        lines.append("    if not state.has_input():")
+        lines.append("        state.throw(_INPUT_EXHAUSTED)")
+        lines.append("        return")
+        lines.append(f"    state.write_register({d.a}, state.next_input())")
+    elif category is Category.IO_WRITE:
+        if d.is_print:
+            _reg_read(lines, "v", d.a)
+            lines.append("    state.append_output(v)")
+        else:
+            lines.append(f"    state.append_output({d.a!r})")
+    elif category is Category.CHECK:
+        lines.append(f"    det = detectors.get({d.a!r})")
+        lines.append("    if det is None:")
+        lines.append("        raise _MME('check instruction references "
+                     f"unknown detector {d.a}')")
+        lines.append("    outcomes = _execute_detector(det, state)")
+        lines.append("    if len(outcomes) != 1:")
+        lines.append("        raise _SVE('detector outcome is symbolic')")
+        lines.append("    if outcomes[0].detected:")
+        lines.append(f"        state.detect({d.a!r}, "
+                     f"{detector_exception(d.a)!r})")
+        lines.append("        return")
+        advance = True
+    elif category is Category.SPECIAL:
+        if d.special == "halt":
+            lines.append("    state.halt()")
+            advance = False
+        elif d.special == "nop":
+            pass  # steps += 1 then fall through
+        elif d.special == "throw":
+            lines.append(f"    state.throw({d.b!r})")
+            advance = False
+        else:
+            lines.append(f"    raise _MME({d.b!r})")
+            advance = False
+    else:  # pragma: no cover - exhaustive
+        raise MachineModelError(f"unhandled category {category}")
+
+    if advance:
+        lines.append(f"    state.pc = {next_pc}")
+    return lines
+
+
+def _exec_namespace(program: Program) -> Dict[str, object]:
+    return {
+        "_ERR": ERR,
+        "_SVE": SymbolicValueEncountered,
+        "_MME": MachineModelError,
+        "_DIVIDE_BY_ZERO": DIVIDE_BY_ZERO,
+        "_ILLEGAL_ADDRESS": ILLEGAL_ADDRESS,
+        "_ILLEGAL_INSTRUCTION": ILLEGAL_INSTRUCTION,
+        "_INPUT_EXHAUSTED": INPUT_EXHAUSTED,
+        "_div": _concrete_div,
+        "_mod": _concrete_mod,
+        "_OPS": _CONCRETE_OPS,
+        "_execute_detector": execute_detector,
+        # Length only — holding e.g. ``program.is_valid_address`` (a bound
+        # method) would keep the Program alive and defeat cache eviction.
+        "_CODE_LEN": len(program),
+    }
+
+
+class DecodedProgram:
+    """The decoded tables for one program.
+
+    Holds *no* strong reference to the :class:`Program` (only to its
+    instructions and derived data), so the identity-keyed cache entry can be
+    evicted as soon as the program itself is garbage collected.
+    """
+
+    __slots__ = ("name", "length", "entries", "concrete_ops", "block_fns",
+                 "block_lens", "_label_addresses", "_ct_targets",
+                 "_fork_targets", "__weakref__")
+
+    def __init__(self, program: Program) -> None:
+        self.name = program.name
+        self.length = len(program)
+        self.entries: Tuple[DecodedInstruction, ...] = tuple(
+            DecodedInstruction(pc, instruction, program)
+            for pc, instruction in enumerate(program.code))
+        self._label_addresses = program.label_addresses()
+        self._ct_targets = program.control_transfer_targets()
+        self._fork_targets: Dict[Tuple[str, int], List[int]] = {}
+        self._compile(program)
+
+    # ------------------------------------------------------------ generation
+
+    def _compile(self, program: Program) -> None:
+        """Generate and compile the per-pc ops and superblocks in one pass."""
+        source: List[str] = []
+        for d in self.entries:
+            source.append(f"def _op{d.pc}(state, detectors):")
+            source.extend(_emit_concrete(d, d.next_pc))
+            source.append("")
+        blocks = self._plan_superblocks()
+        for start, end in blocks:
+            source.append(f"def _blk{start}(state):")
+            for pc in range(start, end):
+                source.extend(_emit_concrete(self.entries[pc], pc + 1))
+            source.append("")
+
+        namespace = _exec_namespace(program)
+        code = compile("\n".join(source), f"<decoded {self.name}>", "exec")
+        exec(code, namespace)
+
+        self.concrete_ops: Tuple[Callable, ...] = tuple(
+            namespace[f"_op{pc}"] for pc in range(self.length))
+        self.block_fns: List[Optional[Callable]] = [None] * self.length
+        self.block_lens: List[int] = [0] * self.length
+        for start, end in blocks:
+            self.block_fns[start] = namespace[f"_blk{start}"]
+            self.block_lens[start] = end - start
+
+    def _plan_superblocks(self) -> List[Tuple[int, int]]:
+        """Choose ``[start, end)`` ranges of fused straight-line code.
+
+        A block starts at every *leader* (program entry, label target, the
+        instruction after a control transfer or ``check``) inside a maximal
+        straight-line run, plus chaining points where a previous block hit
+        :data:`SUPERBLOCK_LIMIT`, and extends to the end of the run or the
+        limit, whichever is closer.  Blocks may overlap; each is a correct
+        fusion from its own entry point.
+        """
+        fusible = [is_straightline(d.instruction) for d in self.entries]
+        leaders = set(self._label_addresses)
+        leaders.add(0)
+        for d in self.entries:
+            if not fusible[d.pc]:
+                leaders.add(d.next_pc)
+
+        blocks: List[Tuple[int, int]] = []
+        planned = set()
+        for leader in sorted(leaders):
+            start = leader
+            while (start not in planned and start < self.length
+                   and fusible[start]):
+                end = start
+                while (end < self.length and fusible[end]
+                       and end - start < SUPERBLOCK_LIMIT
+                       ):
+                    end += 1
+                if end - start < 2:
+                    break
+                blocks.append((start, end))
+                planned.add(start)
+                start = end
+        return blocks
+
+    # -------------------------------------------------------- fork targets
+
+    def fork_targets(self, domain: str, cap: int) -> List[int]:
+        """Static control-fork landing sites for *domain*, capped at *cap*.
+
+        Memoised per ``(domain, cap)``; callers must not mutate the result.
+        """
+        key = (domain, cap)
+        cached = self._fork_targets.get(key)
+        if cached is not None:
+            return cached
+        if domain == "exception_only":
+            targets: Sequence[int] = ()
+        elif domain == "labels":
+            targets = self._label_addresses
+        elif domain == "targets":
+            targets = self._ct_targets
+        elif domain == "all":
+            targets = range(self.length)
+        else:
+            raise MachineModelError(f"unknown control fork domain {domain!r}")
+        targets = list(targets)
+        if len(targets) > cap:
+            stride = max(1, len(targets) // cap)
+            targets = targets[::stride][:cap]
+        self._fork_targets[key] = targets
+        return targets
+
+
+# --------------------------------------------------------------------------
+# Per-program cache.
+# --------------------------------------------------------------------------
+
+_CACHE: Dict[int, Tuple[Callable[[], Optional[Program]], DecodedProgram]] = {}
+
+
+def decoded_program(program: Program) -> DecodedProgram:
+    """The decoded tables for *program*, built at most once per identity.
+
+    Keyed by ``id(program)`` with a weakref guard: a recycled id (new program
+    allocated at a dead program's address) misses and rebuilds, and entries
+    are evicted as soon as the program is collected.  Worker processes that
+    unpickle a program therefore decode it once on first use.
+    """
+    key = id(program)
+    entry = _CACHE.get(key)
+    if entry is not None and entry[0]() is program:
+        return entry[1]
+    decoded = DecodedProgram(program)
+
+    def _evict(_ref: object, _key: int = key) -> None:
+        _CACHE.pop(_key, None)
+
+    _CACHE[key] = (weakref.ref(program, _evict), decoded)
+    return decoded
+
+
+def clear_decode_cache() -> None:
+    """Drop every cached decoded program (test hook)."""
+    _CACHE.clear()

@@ -41,3 +41,7 @@ class MachineModelError(RuntimeError):
     the machine state itself; this exception signals bugs such as stepping a
     state that has already terminated.
     """
+
+
+class SymbolicValueEncountered(MachineModelError):
+    """Raised by the concrete interpreter when it meets an ``err`` value."""

@@ -17,12 +17,21 @@ Two interpreters live here:
   semantics without any symbolic machinery and is used for the deterministic
   prefix before an injection point and by the SimpleScalar-substitute
   simulator in :mod:`repro.concrete`.
+
+Both interpreters run off the pre-decoded tables built by
+:mod:`repro.machine.decode`: operands, comparison operators, binary-operator
+implementations and branch targets are resolved once per program, so the hot
+loop does no string work.  The original string-dispatch implementations are
+kept verbatim — ``ExecutionConfig(legacy_dispatch=True)`` for the symbolic
+executor, :func:`concrete_step_legacy` / :func:`run_concrete_legacy` for the
+concrete one — as the semantic reference for the decode-equivalence tests
+and benchmarks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..constraints import ComparisonOp, Location
 from ..detectors import DetectorSet, EMPTY_DETECTORS, execute_detector
@@ -34,10 +43,18 @@ from ..isa.instructions import (Category, Instruction,
                                 compare_base_opcode)
 from ..isa.program import Program
 from ..isa.values import ERR, Value, is_err
+from .decode import DecodedInstruction, DecodedProgram, decoded_program
 from .exceptions import (DIVIDE_BY_ZERO, ILLEGAL_ADDRESS, ILLEGAL_INSTRUCTION,
-                         INPUT_EXHAUSTED, MachineModelError, TIMED_OUT,
+                         INPUT_EXHAUSTED, MachineModelError,
+                         SymbolicValueEncountered, TIMED_OUT,
                          detector_exception)
 from .state import MachineState, TraceEntry
+
+__all__ = [
+    "ExecutionConfig", "Executor", "SymbolicValueEncountered", "apply_fault",
+    "concrete_step", "concrete_step_legacy", "run_concrete",
+    "run_concrete_legacy", "run_concrete_until",
+]
 
 
 #: Comparison operator implemented by each comparison-setter opcode.
@@ -69,6 +86,9 @@ class ExecutionConfig:
             branches (turning this off is the paper's implicit baseline and is
             exercised by the ablation benchmark).
         record_trace: whether to append a human-readable trace entry per step.
+        legacy_dispatch: run the original string-dispatch handlers instead of
+            the pre-decoded dispatch table.  Test-only flag kept for the
+            decode-equivalence suite and legacy-vs-decoded benchmarks.
     """
 
     max_steps: int = 20_000
@@ -78,10 +98,7 @@ class ExecutionConfig:
     max_memory_forks: int = 16
     prune_unsatisfiable: bool = True
     record_trace: bool = False
-
-
-class SymbolicValueEncountered(MachineModelError):
-    """Raised by the concrete interpreter when it meets an ``err`` value."""
+    legacy_dispatch: bool = False
 
 
 def apply_fault(state: MachineState, kind: str, index: int,
@@ -118,6 +135,27 @@ class Executor:
         self.program = program
         self.detectors = detectors
         self.config = config or ExecutionConfig()
+        self._decoded: DecodedProgram = decoded_program(program)
+        if self.config.legacy_dispatch:
+            self._dispatch = None
+        else:
+            self._dispatch = self._build_dispatch()
+
+    def _build_dispatch(self) -> List:
+        """Per-pc handler table: ``handlers[pc](self, state, decoded[pc])``."""
+        specials = {
+            "halt": Executor._dx_halt,
+            "nop": Executor._dx_nop,
+            "throw": Executor._dx_throw,
+        }
+        table = []
+        for entry in self._decoded.entries:
+            if entry.category is Category.SPECIAL:
+                handler = specials.get(entry.special, Executor._dx_unhandled)
+            else:
+                handler = self._DX_HANDLERS[entry.category]
+            table.append(handler)
+        return table
 
     # ------------------------------------------------------------------- step
 
@@ -131,24 +169,42 @@ class Executor:
             timed_out.time_out(TIMED_OUT)
             return [timed_out]
 
-        if is_err(state.pc):
+        pc = state.pc
+        if pc is ERR:
             return self._control_error_successors(state, note="fetch with corrupted PC")
 
-        instruction = self.program.fetch(state.pc)
-        if instruction is None:
-            crashed = state.copy()
-            crashed.throw(ILLEGAL_INSTRUCTION)
-            return [crashed]
-
-        handler = self._HANDLERS[instruction.category]
-        successors = handler(self, state, instruction)
+        dispatch = self._dispatch
+        text: Optional[str] = None
+        if dispatch is not None:
+            if type(pc) is int and 0 <= pc < len(dispatch):
+                decoded = self._decoded.entries[pc]
+                successors = dispatch[pc](self, state, decoded)
+                text = decoded.text
+            else:
+                crashed = state.copy()
+                crashed.throw(ILLEGAL_INSTRUCTION)
+                return [crashed]
+        else:
+            instruction = self.program.fetch(pc)
+            if instruction is None:
+                crashed = state.copy()
+                crashed.throw(ILLEGAL_INSTRUCTION)
+                return [crashed]
+            handler = self._HANDLERS[instruction.category]
+            successors = handler(self, state, instruction)
+            if self.config.record_trace:
+                text = instruction.render()
 
         if self.config.prune_unsatisfiable:
             successors = [s for s in successors if s.constraints.satisfiable()]
-        for successor in successors:
-            successor.steps = state.steps + 1
-            if self.config.record_trace:
-                successor.add_trace_entry(TraceEntry(state.pc, instruction.render()))
+        steps = state.steps + 1
+        if self.config.record_trace:
+            for successor in successors:
+                successor.steps = steps
+                successor.add_trace_entry(TraceEntry(pc, text))
+        else:
+            for successor in successors:
+                successor.steps = steps
         return successors
 
     def run(self, state: MachineState,
@@ -193,7 +249,258 @@ class Executor:
         location = Location.register(number) if is_err(value) else None
         return value, location
 
-    # --------------------------------------------------------------- handlers
+    # ----------------------------------------------------- decoded handlers
+    #
+    # One handler per decoded category, taking the DecodedInstruction instead
+    # of the raw Instruction: no opcode strings, signature inspection or
+    # label resolution on the hot path.  Fully concrete operands additionally
+    # skip the symbolic resolution machinery (the outcome is provably a
+    # single un-forked successor in that case, so behaviour is identical).
+
+    def _dx_arithmetic(self, state: MachineState,
+                       d: DecodedInstruction) -> List[MachineState]:
+        left = state.read_register(d.b)
+        if d.third_is_reg:
+            right = state.read_register(d.c)
+        else:
+            right = d.c
+        if left is not ERR and right is not ERR:
+            if d.divmod and right == 0:
+                return [self._crash(state, DIVIDE_BY_ZERO)]
+            successor = state.copy()
+            successor.write_register(d.a, d.op_fn(left, right))
+            successor.pc = d.next_pc
+            return [successor]
+
+        try:
+            result = symbolic_binary(d.operator, left, right)
+        except ZeroDivisionError:
+            return [self._crash(state, DIVIDE_BY_ZERO)]
+        except NonDeterministicOperation:
+            right_location = Location.register(d.c) \
+                if d.third_is_reg and right is ERR else None
+            return self._dx_nondeterministic_arithmetic(
+                state, d, right, right_location)
+        successor = state.copy()
+        successor.write_register(d.a, result)
+        successor.pc = d.next_pc
+        return [successor]
+
+    def _dx_nondeterministic_arithmetic(
+            self, state: MachineState, d: DecodedInstruction, right: Value,
+            right_location: Optional[Location]) -> List[MachineState]:
+        """Fork on whether the symbolic operand equals zero (Section 5.2 rules)."""
+        outcomes = resolve_comparison(
+            state.constraints, ComparisonOp.EQ, right, 0,
+            left_location=right_location, right_location=None)
+        successors: List[MachineState] = []
+        for outcome in outcomes:
+            branch = state.copy()
+            branch.constraints = outcome.constraints
+            if outcome.result:  # the symbolic operand is zero
+                if d.divmod:
+                    branch.throw(DIVIDE_BY_ZERO)
+                    successors.append(branch)
+                    continue
+                branch.write_register(d.a, 0)
+            else:
+                branch.write_register(d.a, ERR)
+            branch.pc = d.next_pc
+            successors.append(branch)
+        return successors
+
+    def _dx_compare(self, state: MachineState,
+                    d: DecodedInstruction) -> List[MachineState]:
+        left = state.read_register(d.b)
+        if d.third_is_reg:
+            right = state.read_register(d.c)
+        else:
+            right = d.c
+        if left is not ERR and right is not ERR:
+            successor = state.copy()
+            successor.write_register(d.a, 1 if d.compare_fn(left, right) else 0)
+            successor.pc = d.next_pc
+            return [successor]
+
+        left_location = Location.register(d.b) if left is ERR else None
+        right_location = Location.register(d.c) \
+            if d.third_is_reg and right is ERR else None
+        outcomes = resolve_comparison(state.constraints, d.compare_op,
+                                      left, right, left_location, right_location)
+        successors: List[MachineState] = []
+        for outcome in outcomes:
+            branch = state.copy()
+            branch.constraints = outcome.constraints
+            branch.write_register(d.a, 1 if outcome.result else 0)
+            if outcome.forked:
+                branch.forks += 1
+            branch.pc = d.next_pc
+            successors.append(branch)
+        return successors
+
+    def _dx_move(self, state: MachineState,
+                 d: DecodedInstruction) -> List[MachineState]:
+        successor = state.copy()
+        if d.is_mov:
+            value = state.read_register(d.b)
+            successor.write_register(
+                d.a, value,
+                transfer_from=Location.register(d.b) if value is ERR else None)
+        else:  # li
+            successor.write_register(d.a, d.b)
+        successor.pc = d.next_pc
+        return [successor]
+
+    def _dx_load(self, state: MachineState,
+                 d: DecodedInstruction) -> List[MachineState]:
+        base = state.read_register(d.b)
+        if base is ERR:
+            return self._memory_error_loads(state, d.a)
+        address = base + d.c
+        if not state.is_defined_address(address):
+            return [self._crash(state, ILLEGAL_ADDRESS)]
+        value = state.read_memory(address)
+        successor = state.copy()
+        successor.write_register(
+            d.a, value,
+            transfer_from=Location.memory(address) if value is ERR else None)
+        successor.pc = d.next_pc
+        return [successor]
+
+    def _dx_store(self, state: MachineState,
+                  d: DecodedInstruction) -> List[MachineState]:
+        value = state.read_register(d.a)
+        value_location = Location.register(d.a) if value is ERR else None
+        base = state.read_register(d.b)
+        if base is ERR:
+            return self._memory_error_stores(state, value, value_location)
+        successor = state.copy()
+        successor.write_memory(base + d.c, value, transfer_from=value_location)
+        successor.pc = d.next_pc
+        return [successor]
+
+    def _dx_branch(self, state: MachineState,
+                   d: DecodedInstruction) -> List[MachineState]:
+        value = state.read_register(d.a)
+        if value is not ERR:
+            branch = state.copy()
+            branch.pc = d.target if d.compare_fn(value, d.c) else d.next_pc
+            return [branch]
+        outcomes = resolve_comparison(state.constraints, d.compare_op,
+                                      value, d.c, Location.register(d.a), None)
+        successors: List[MachineState] = []
+        for outcome in outcomes:
+            branch = state.copy()
+            branch.constraints = outcome.constraints
+            if outcome.forked:
+                branch.forks += 1
+            branch.pc = d.target if outcome.result else d.next_pc
+            successors.append(branch)
+        return successors
+
+    def _dx_jump(self, state: MachineState,
+                 d: DecodedInstruction) -> List[MachineState]:
+        successor = state.copy()
+        successor.pc = d.target
+        return [successor]
+
+    def _dx_call(self, state: MachineState,
+                 d: DecodedInstruction) -> List[MachineState]:
+        successor = state.copy()
+        successor.write_register(RETURN_ADDRESS_REGISTER, d.next_pc)
+        successor.pc = d.target
+        return [successor]
+
+    def _dx_jump_register(self, state: MachineState,
+                          d: DecodedInstruction) -> List[MachineState]:
+        target = state.read_register(d.a)
+        if target is ERR:
+            return self._control_error_successors(
+                state, note=f"jr ${d.a} with corrupted target")
+        if not self.program.is_valid_address(target):
+            return [self._crash(state, ILLEGAL_INSTRUCTION)]
+        successor = state.copy()
+        successor.pc = target
+        return [successor]
+
+    def _dx_io_read(self, state: MachineState,
+                    d: DecodedInstruction) -> List[MachineState]:
+        if not state.has_input():
+            return [self._crash(state, INPUT_EXHAUSTED)]
+        successor = state.copy()
+        successor.write_register(d.a, successor.next_input())
+        successor.pc = d.next_pc
+        return [successor]
+
+    def _dx_io_write(self, state: MachineState,
+                     d: DecodedInstruction) -> List[MachineState]:
+        successor = state.copy()
+        if d.is_print:
+            successor.append_output(state.read_register(d.a))
+        else:  # prints
+            successor.append_output(d.a)
+        successor.pc = d.next_pc
+        return [successor]
+
+    def _dx_check(self, state: MachineState,
+                  d: DecodedInstruction) -> List[MachineState]:
+        detector = self.detectors.get(d.a)
+        if detector is None:
+            raise MachineModelError(
+                f"check instruction references unknown detector {d.a}")
+        outcomes = execute_detector(detector, state)
+        successors: List[MachineState] = []
+        for outcome in outcomes:
+            branch = state.copy()
+            branch.constraints = outcome.constraints
+            if outcome.forked:
+                branch.forks += 1
+            if outcome.detected:
+                branch.detect(d.a, detector_exception(d.a))
+            else:
+                branch.pc = d.next_pc
+            successors.append(branch)
+        return successors
+
+    def _dx_halt(self, state: MachineState,
+                 d: DecodedInstruction) -> List[MachineState]:
+        successor = state.copy()
+        successor.halt()
+        return [successor]
+
+    def _dx_nop(self, state: MachineState,
+                d: DecodedInstruction) -> List[MachineState]:
+        successor = state.copy()
+        successor.pc = d.next_pc
+        return [successor]
+
+    def _dx_throw(self, state: MachineState,
+                  d: DecodedInstruction) -> List[MachineState]:
+        return [self._crash(state, d.b)]
+
+    def _dx_unhandled(self, state: MachineState,
+                      d: DecodedInstruction) -> List[MachineState]:
+        raise MachineModelError(d.b)
+
+    _DX_HANDLERS = {
+        Category.ARITHMETIC: _dx_arithmetic,
+        Category.COMPARE: _dx_compare,
+        Category.MOVE: _dx_move,
+        Category.LOAD: _dx_load,
+        Category.STORE: _dx_store,
+        Category.BRANCH: _dx_branch,
+        Category.JUMP: _dx_jump,
+        Category.CALL: _dx_call,
+        Category.JUMP_REGISTER: _dx_jump_register,
+        Category.IO_READ: _dx_io_read,
+        Category.IO_WRITE: _dx_io_write,
+        Category.CHECK: _dx_check,
+    }
+
+    # ------------------------------------------- legacy string-dispatch path
+    #
+    # The original handlers, kept verbatim as the semantic reference for the
+    # decoded dispatch table (``ExecutionConfig(legacy_dispatch=True)``).
 
     def _execute_arithmetic(self, state: MachineState,
                             instruction: Instruction) -> List[MachineState]:
@@ -405,23 +712,8 @@ class Executor:
         return successors
 
     def _control_fork_targets(self) -> List[int]:
-        domain = self.config.control_fork_domain
-        if domain == "exception_only":
-            targets: Sequence[int] = ()
-        elif domain == "labels":
-            targets = self.program.label_addresses()
-        elif domain == "targets":
-            targets = self.program.control_transfer_targets()
-        elif domain == "all":
-            targets = range(len(self.program))
-        else:
-            raise MachineModelError(f"unknown control fork domain {domain!r}")
-        targets = list(targets)
-        cap = self.config.max_control_forks
-        if len(targets) <= cap:
-            return targets
-        stride = max(1, len(targets) // cap)
-        return targets[::stride][:cap]
+        return self._decoded.fork_targets(self.config.control_fork_domain,
+                                          self.config.max_control_forks)
 
     def _execute_io_read(self, state: MachineState,
                          instruction: Instruction) -> List[MachineState]:
@@ -472,7 +764,9 @@ class Executor:
             return [self._advance(self._base(state))]
         if instruction.opcode == "throw":
             return [self._crash(state, instruction.operands[0])]
-        raise MachineModelError(f"unhandled special opcode {instruction.opcode}")
+        raise MachineModelError(
+            f"unhandled special opcode {instruction.opcode} at pc {state.pc} "
+            f"({self.program.source_line(state.pc)})")
 
     _HANDLERS = {
         Category.ARITHMETIC: _execute_arithmetic,
@@ -499,9 +793,106 @@ def concrete_step(program: Program, state: MachineState,
                   detectors: DetectorSet = EMPTY_DETECTORS) -> MachineState:
     """Execute one instruction on a fully concrete state, in place.
 
-    Raises :class:`SymbolicValueEncountered` if an ``err`` value is met — the
+    Dispatches to the program's pre-decoded per-instruction op.  Raises
+    :class:`SymbolicValueEncountered` if an ``err`` value is met — the
     caller should fall back to the symbolic executor in that case.
     """
+    pc = state.pc
+    if pc is ERR:
+        raise SymbolicValueEncountered("PC is err")
+    ops = decoded_program(program).concrete_ops
+    if type(pc) is int and 0 <= pc < len(ops):
+        ops[pc](state, detectors)
+    else:
+        state.throw(ILLEGAL_INSTRUCTION)
+    return state
+
+
+def run_concrete(program: Program, state: MachineState,
+                 detectors: DetectorSet = EMPTY_DETECTORS,
+                 max_steps: int = 200_000) -> MachineState:
+    """Run a fully concrete state to termination (in place).
+
+    Uses the decoded superblocks: when the program counter sits on a block
+    leader and the remaining step budget covers the whole block, the fused
+    function executes the run in one call; otherwise execution falls back to
+    the per-instruction ops.  Observable behaviour (including the exact step
+    count at a timeout) is identical to single-stepping.
+    """
+    decoded = decoded_program(program)
+    ops = decoded.concrete_ops
+    block_fns = decoded.block_fns
+    block_lens = decoded.block_lens
+    length = decoded.length
+    while state.is_running:
+        steps = state.steps
+        if steps >= max_steps:
+            state.time_out(TIMED_OUT)
+            break
+        pc = state.pc
+        if type(pc) is int and 0 <= pc < length:
+            block = block_fns[pc]
+            if block is not None and steps + block_lens[pc] <= max_steps:
+                block(state)
+            else:
+                ops[pc](state, detectors)
+        elif pc is ERR:
+            raise SymbolicValueEncountered("PC is err")
+        else:
+            state.throw(ILLEGAL_INSTRUCTION)
+    return state
+
+
+def run_concrete_until(program: Program, state: MachineState,
+                       stop_pc: int, occurrence: int = 1,
+                       detectors: DetectorSet = EMPTY_DETECTORS,
+                       max_steps: int = 200_000) -> MachineState:
+    """Run concretely until the program counter reaches *stop_pc*.
+
+    Used to position the machine at an injection breakpoint: execution stops
+    *before* the instruction at ``stop_pc`` is executed for the
+    *occurrence*-th time.  If the breakpoint is never reached the state is
+    simply run to termination.  Superblocks that would step *through* the
+    breakpoint are skipped so every visit is observed.
+    """
+    decoded = decoded_program(program)
+    ops = decoded.concrete_ops
+    block_fns = decoded.block_fns
+    block_lens = decoded.block_lens
+    length = decoded.length
+    remaining = occurrence
+    while state.is_running:
+        steps = state.steps
+        if steps >= max_steps:
+            state.time_out(TIMED_OUT)
+            break
+        pc = state.pc
+        if pc == stop_pc:
+            remaining -= 1
+            if remaining <= 0:
+                break
+        if type(pc) is int and 0 <= pc < length:
+            block = block_fns[pc]
+            if (block is not None and steps + block_lens[pc] <= max_steps
+                    and not pc < stop_pc < pc + block_lens[pc]):
+                block(state)
+            else:
+                ops[pc](state, detectors)
+        elif pc is ERR:
+            raise SymbolicValueEncountered("PC is err")
+        else:
+            state.throw(ILLEGAL_INSTRUCTION)
+    return state
+
+
+# --------------------------------------------------------------------------
+# Legacy string-dispatch concrete interpreter, kept verbatim as the semantic
+# reference for the decoded ops (decode-equivalence tests and benchmarks).
+# --------------------------------------------------------------------------
+
+def concrete_step_legacy(program: Program, state: MachineState,
+                         detectors: DetectorSet = EMPTY_DETECTORS) -> MachineState:
+    """Original string-dispatch :func:`concrete_step` (reference semantics)."""
     pc = state.pc
     if is_err(pc):
         raise SymbolicValueEncountered("PC is err")
@@ -605,43 +996,21 @@ def concrete_step(program: Program, state: MachineState,
         elif opcode == "throw":
             state.throw(operands[0])
         else:  # pragma: no cover - exhaustive
-            raise MachineModelError(f"unhandled special opcode {opcode}")
+            raise MachineModelError(
+                f"unhandled special opcode {opcode} at pc {pc} "
+                f"({program.source_line(pc)})")
     else:  # pragma: no cover - exhaustive
         raise MachineModelError(f"unhandled category {category}")
     return state
 
 
-def run_concrete(program: Program, state: MachineState,
-                 detectors: DetectorSet = EMPTY_DETECTORS,
-                 max_steps: int = 200_000) -> MachineState:
-    """Run a fully concrete state to termination (in place)."""
+def run_concrete_legacy(program: Program, state: MachineState,
+                        detectors: DetectorSet = EMPTY_DETECTORS,
+                        max_steps: int = 200_000) -> MachineState:
+    """Single-stepping :func:`run_concrete` over the legacy dispatch."""
     while state.is_running:
         if state.steps >= max_steps:
             state.time_out(TIMED_OUT)
             break
-        concrete_step(program, state, detectors)
-    return state
-
-
-def run_concrete_until(program: Program, state: MachineState,
-                       stop_pc: int, occurrence: int = 1,
-                       detectors: DetectorSet = EMPTY_DETECTORS,
-                       max_steps: int = 200_000) -> MachineState:
-    """Run concretely until the program counter reaches *stop_pc*.
-
-    Used to position the machine at an injection breakpoint: execution stops
-    *before* the instruction at ``stop_pc`` is executed for the
-    *occurrence*-th time.  If the breakpoint is never reached the state is
-    simply run to termination.
-    """
-    remaining = occurrence
-    while state.is_running:
-        if state.steps >= max_steps:
-            state.time_out(TIMED_OUT)
-            break
-        if state.pc == stop_pc:
-            remaining -= 1
-            if remaining <= 0:
-                break
-        concrete_step(program, state, detectors)
+        concrete_step_legacy(program, state, detectors)
     return state

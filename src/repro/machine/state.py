@@ -346,8 +346,22 @@ class Fingerprint:
         if (self._constraints is not other._constraints
                 and self._constraints != other._constraints):
             return False
-        return (self._registers_flat() == other._registers_flat()
-                and self._memory_flat() == other._memory_flat())
+        # Fast path for the common dedup hit: fingerprints from the same CoW
+        # lineage share bases by reference, so equal overlays imply equal
+        # stores without materialising the flattened views.  (Unequal
+        # overlays do NOT imply unequal stores — an overlay write may repeat
+        # the base value — so that case falls back to the full comparison.)
+        if self._regs_base is other._regs_base \
+                and self._regs_overlay == other._regs_overlay:
+            registers_equal = True
+        else:
+            registers_equal = self._registers_flat() == other._registers_flat()
+        if not registers_equal:
+            return False
+        if self._mem_base is other._mem_base \
+                and self._mem_overlay == other._mem_overlay:
+            return True
+        return self._memory_flat() == other._memory_flat()
 
     def __repr__(self) -> str:
         return f"<Fingerprint {self._hash:#x} pc={format_value(self._pc)}>"
@@ -530,7 +544,9 @@ class MachineState:
         if number == ZERO_REGISTER:
             return
         old = self._registers.set(number, value)
-        self._loc_hash ^= _register_mix(number, old) ^ _register_mix(number, value)
+        # hash((0, number, v)) == _register_mix(number, v), inlined: this is
+        # the hottest line of the write path.
+        self._loc_hash ^= hash((0, number, old)) ^ hash((0, number, value))
         if is_err(old):
             if not is_err(value):
                 self._err_count -= 1
@@ -559,11 +575,11 @@ class MachineState:
         """Write a memory word, mirroring :meth:`write_register` for constraints."""
         old = self._memory.set(address, value)
         if old is _ABSENT:
-            self._loc_hash ^= _memory_mix(address, value)
+            self._loc_hash ^= hash((1, address, value))
             if is_err(value):
                 self._err_count += 1
         else:
-            self._loc_hash ^= _memory_mix(address, old) ^ _memory_mix(address, value)
+            self._loc_hash ^= hash((1, address, old)) ^ hash((1, address, value))
             if is_err(old):
                 if not is_err(value):
                     self._err_count -= 1

@@ -51,6 +51,20 @@ def _entry(entry_id: str, workload: str, fault_model: Optional[str],
     return entry
 
 
+def _interp_entry(entry_id: str, workload: str, engine: str, dispatch: str,
+                  repeats: int) -> Dict[str, object]:
+    """An interpreter-throughput entry: repeated golden runs, no campaign.
+
+    *engine* is ``concrete`` (``run_concrete`` loop) or ``symbolic``
+    (``Executor.step`` loop); *dispatch* is ``decoded`` (the pre-decoded
+    dispatch tables) or ``legacy`` (the original string-dispatch path).
+    The decoded/legacy pairs make the hot-path speedup a first-class
+    trajectory metric instead of a one-off measurement.
+    """
+    return {"id": entry_id, "mode": "interp", "workload": workload,
+            "engine": engine, "dispatch": dispatch, "repeats": repeats}
+
+
 #: Pinned campaign matrices.  ``ci`` is the per-PR trajectory matrix —
 #: small enough for a CI job, wide enough to cover every workload, every
 #: fault model, and the streaming ``--results`` path (whose 1x/10x pair is
@@ -77,6 +91,14 @@ MATRICES: Dict[str, List[Dict[str, object]]] = {
         _entry("replace-results-stream-10x", "replace", "register",
                "err-output", max_injections=40, max_states=2500,
                results=True),
+        _interp_entry("interp-concrete-decoded", "replace", "concrete",
+                      "decoded", repeats=40),
+        _interp_entry("interp-concrete-legacy", "replace", "concrete",
+                      "legacy", repeats=40),
+        _interp_entry("interp-symbolic-decoded", "replace", "symbolic",
+                      "decoded", repeats=4),
+        _interp_entry("interp-symbolic-legacy", "replace", "symbolic",
+                      "legacy", repeats=4),
     ],
 }
 MATRICES["full"] = MATRICES["ci"] + [
@@ -117,12 +139,81 @@ def _peak_rss_kb() -> Optional[int]:
     return int(rss // 1024) if sys.platform == "darwin" else int(rss)
 
 
+def execute_interp_entry(entry: Dict[str, object]) -> Dict[str, object]:
+    """Run one interpreter-throughput entry and return its record.
+
+    Times *repeats* golden runs of the workload — one warm-up run first, so
+    one-time decode/specialisation cost stays out of the measured window —
+    and reports instructions/second.  ``engine == "concrete"`` drives the
+    ``run_concrete``/``run_concrete_legacy`` loop; ``engine == "symbolic"``
+    steps an :class:`~repro.machine.executor.Executor` (with
+    ``legacy_dispatch`` selected by the entry) through the fault-free path.
+    """
+    from ..machine.executor import (ExecutionConfig, Executor, run_concrete,
+                                    run_concrete_legacy)
+    from ..programs import load_workload
+
+    workload = load_workload(str(entry["workload"]))
+    engine = str(entry.get("engine", "concrete"))
+    dispatch = str(entry.get("dispatch", "decoded"))
+    repeats = int(entry.get("repeats") or 10)
+    max_steps = workload.recommended_max_steps
+
+    if engine == "concrete":
+        run_fn = run_concrete_legacy if dispatch == "legacy" else run_concrete
+
+        def run_once() -> int:
+            state = workload.initial_state()
+            run_fn(workload.program, state, workload.detectors, max_steps)
+            return state.steps
+    elif engine == "symbolic":
+        executor = Executor(
+            workload.program, workload.detectors,
+            ExecutionConfig(max_steps=max_steps,
+                            legacy_dispatch=(dispatch == "legacy")))
+
+        def run_once() -> int:
+            state = workload.initial_state()
+            while state.is_running:
+                successors = executor.step(state)
+                if len(successors) != 1:
+                    raise RuntimeError(
+                        f"golden run forked into {len(successors)} states")
+                state = successors[0]
+            return state.steps
+    else:
+        raise ValueError(f"interp entry engine must be concrete or "
+                         f"symbolic, got {engine!r}")
+
+    run_once()  # warm-up: decode + superblock compile before the clock
+    instructions = 0
+    started = time.perf_counter()
+    for _ in range(repeats):
+        instructions += run_once()
+    wall_clock = time.perf_counter() - started
+    return {
+        "id": entry["id"],
+        "mode": "interp",
+        "workload": entry["workload"],
+        "engine": engine,
+        "dispatch": dispatch,
+        "repeats": repeats,
+        "instructions": instructions,
+        "wall_clock_seconds": wall_clock,
+        "instructions_per_second": (instructions / wall_clock
+                                    if wall_clock > 0 else 0.0),
+        "max_rss_kb": _peak_rss_kb(),
+    }
+
+
 def execute_entry(entry: Dict[str, object]) -> Dict[str, object]:
     """Run one matrix entry in-process and return its benchmark record.
 
     Meant to run inside a fresh subprocess (see :func:`run_entry`) so that
     ``ru_maxrss`` — a high-water mark — measures this entry alone.
     """
+    if entry.get("mode") == "interp":
+        return execute_interp_entry(entry)
     from ..parallel.spec import CacheSpec, QuerySpec
     from ..programs import load_workload
 
@@ -234,11 +325,18 @@ def run_matrix(matrix: str, sha: str,
     for entry in entries:
         print(f"bench: {entry['id']} ...", flush=True)
         record = run_entry(entry, timeout=timeout)
-        print(f"bench: {entry['id']}: "
-              f"{record['injections']} injections in "
-              f"{record['wall_clock_seconds']:.2f}s "
-              f"({record['injections_per_second']:.2f}/s, "
-              f"rss {record['max_rss_kb']} kB)", flush=True)
+        if record.get("mode") == "interp":
+            print(f"bench: {entry['id']}: "
+                  f"{record['instructions']} instructions in "
+                  f"{record['wall_clock_seconds']:.2f}s "
+                  f"({record['instructions_per_second']:,.0f} instr/s, "
+                  f"{record['engine']}/{record['dispatch']})", flush=True)
+        else:
+            print(f"bench: {entry['id']}: "
+                  f"{record.get('injections')} injections in "
+                  f"{record['wall_clock_seconds']:.2f}s "
+                  f"({record.get('injections_per_second', 0.0):.2f}/s, "
+                  f"rss {record.get('max_rss_kb')} kB)", flush=True)
         records.append(record)
     return {
         "schema_version": SCHEMA_VERSION,
@@ -328,9 +426,10 @@ def _sweep_argv(args: argparse.Namespace) -> List[str]:
     return argv
 
 
-def _run_analyze(argv: List[str], timeout: float) -> str:
+def _run_analyze(argv: List[str], timeout: float,
+                 env: Optional[Dict[str, str]] = None) -> str:
     completed = subprocess.run(argv, capture_output=True, text=True,
-                               timeout=timeout)
+                               timeout=timeout, env=env)
     if completed.returncode != 0:
         raise RuntimeError(f"analyze failed (exit {completed.returncode}): "
                            f"{' '.join(argv)}\n{completed.stderr}")
@@ -343,6 +442,14 @@ def _run_variant(variant: str, args: argparse.Namespace, scratch: str,
     base = _sweep_argv(args)
     if variant == "serial":
         return _run_analyze(base, timeout)
+    if variant == "peephole":
+        # Serial sweep with the peephole pass enabled: the campaign output
+        # must stay byte-identical before the pass may be defaulted on
+        # (see repro.lang.peephole).
+        from ..lang.peephole import PEEPHOLE_ENV_VAR
+        env = dict(os.environ)
+        env[PEEPHOLE_ENV_VAR] = "1"
+        return _run_analyze(base, timeout, env=env)
     if variant == "pool":
         return _run_analyze(base + ["--backend", "pool", "--workers", "2"],
                             timeout)
@@ -444,7 +551,7 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backends", default="pool,distributed",
                         help="comma-separated variants for "
                              "--expect-identical: pool, distributed, "
-                             "results, tcp, tcp-task, tcp-kill")
+                             "results, peephole, tcp, tcp-task, tcp-kill")
     parser.add_argument("--workload", default="factorial",
                         help="workload for --expect-identical")
     parser.add_argument("--fault-model", default=None,

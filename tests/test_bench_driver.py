@@ -10,7 +10,8 @@ import json
 import sys
 from pathlib import Path
 
-from repro.results.bench import MATRICES, normalize_output, resolve_sha
+from repro.results.bench import (MATRICES, execute_entry, normalize_output,
+                                 resolve_sha)
 
 BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 sys.path.insert(0, str(BENCHMARKS_DIR))
@@ -59,6 +60,44 @@ class TestMatrices:
 
     def test_resolve_sha_prefers_the_explicit_argument(self):
         assert resolve_sha("abc123") == "abc123"
+
+    def test_ci_matrix_pairs_decoded_and_legacy_interp_entries(self):
+        """Both dispatch variants must stay under the trajectory gate."""
+        interp = {entry["id"]: entry for entry in MATRICES["ci"]
+                  if entry.get("mode") == "interp"}
+        for engine in ("concrete", "symbolic"):
+            pair = {entry["dispatch"] for entry in interp.values()
+                    if entry["engine"] == engine}
+            assert pair == {"decoded", "legacy"}, engine
+
+
+class TestInterpEntries:
+    def test_interp_entry_record_shape(self):
+        """One tiny in-process interp entry: throughput keys + wall clock.
+
+        Runs on factorial (a few hundred instructions total) so the unit
+        suite stays fast; the replace-sized entries run in the CI matrix.
+        """
+        entry = {"id": "interp-unit", "mode": "interp",
+                 "workload": "factorial", "engine": "concrete",
+                 "dispatch": "decoded", "repeats": 2}
+        record = execute_entry(entry)
+        assert record["mode"] == "interp"
+        assert record["instructions"] > 0
+        assert record["wall_clock_seconds"] > 0
+        assert record["instructions_per_second"] > 0
+        assert record["dispatch"] == "decoded"
+
+    def test_symbolic_and_legacy_variants_run(self):
+        for engine, dispatch in (("symbolic", "decoded"),
+                                 ("concrete", "legacy")):
+            entry = {"id": "interp-unit", "mode": "interp",
+                     "workload": "factorial", "engine": engine,
+                     "dispatch": dispatch, "repeats": 1}
+            record = execute_entry(entry)
+            assert record["engine"] == engine
+            assert record["dispatch"] == dispatch
+            assert record["instructions"] > 0
 
 
 def point(sha, entries, created="2026-08-08T00:00:00+00:00"):

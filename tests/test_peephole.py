@@ -1,0 +1,167 @@
+"""Tests for the conservative peephole pass (:mod:`repro.lang.peephole`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instructions import make
+from repro.isa.parser import assemble
+from repro.isa.program import Program
+from repro.lang import compile_source
+from repro.lang.peephole import (PEEPHOLE_ENV_VAR, PeepholeStats,
+                                 peephole_compiled, peephole_enabled_by_env,
+                                 peephole_program)
+from repro.machine import run_concrete
+from repro.machine.state import initial_state
+from repro.programs import load_workload
+
+
+def _run(program: Program, input_values=()) -> tuple:
+    state = initial_state(input_values=input_values)
+    run_concrete(program, state, max_steps=500)
+    return state.status, state.output_values(), state.pc
+
+
+class TestRemovals:
+    SOURCE = """
+            mov $1 $1          -- self-mov: removable
+            addi $2 $0 #3
+            beq $0 0 next      -- branch to next: removable
+    next:   jmp tail           -- jump to next: removable
+    tail:   print $2
+            halt
+    tail2:  halt
+    """
+
+    def test_removes_and_remaps(self):
+        program = assemble(self.SOURCE, name="p")
+        optimised, stats = peephole_program(program)
+        assert stats.removed_movs == 1
+        assert stats.removed_branches == 2
+        assert stats.removed == 3
+        assert len(optimised) == len(program) - 3
+        # Labels survive the renumbering, including ones at addresses
+        # shifted by earlier drops and the end-of-code label.
+        assert [ins.opcode for ins in optimised.code] == \
+            ["addi", "print", "halt", "halt"]
+        assert optimised.labels["next"] == 1
+        assert optimised.labels["tail"] == 1
+        assert optimised.labels["tail2"] == 3
+
+    def test_source_lines_remapped(self):
+        program = assemble(self.SOURCE, name="p")
+        optimised, _stats = peephole_program(program)
+        assert "addi" in optimised.source_lines[0]
+        assert "print" in optimised.source_lines[1]
+
+    def test_execution_identical(self):
+        program = assemble(self.SOURCE, name="p")
+        optimised, _stats = peephole_program(program)
+        assert _run(optimised)[:2] == _run(program)[:2]
+
+    def test_fixpoint_cascading_jumps(self):
+        # Removing the first jump-to-next exposes the second: jmp a targets
+        # the jmp b instruction, which only becomes "to next" in pass 2.
+        program = Program(
+            code=(make("jmp", "a"), make("jmp", "b"), make("halt")),
+            labels={"a": 1, "b": 2}, name="cascade")
+        optimised, stats = peephole_program(program)
+        assert stats.removed_branches == 2
+        assert stats.passes >= 2
+        assert [ins.opcode for ins in optimised.code] == ["halt"]
+
+    def test_fusion_candidates_counted_not_rewritten(self):
+        program = assemble("""
+        loop:   setgt $5 $3 $4
+                beq $5 0 exit
+                jmp loop
+        exit:   halt
+        """, name="fuse")
+        optimised, stats = peephole_program(program)
+        assert stats.fusion_candidates == 1
+        assert len(optimised) == len(program)  # counted, never fused
+
+    def test_noop_on_clean_program(self):
+        program = assemble("        addi $1 $0 #1\n        halt\n", name="c")
+        optimised, stats = peephole_program(program)
+        assert optimised is not program or stats.removed == 0
+        assert stats.removed == 0
+        assert stats.passes == 1
+
+
+class TestShippedWorkloads:
+    """The pass must currently be a no-op on every shipped workload —
+    that is what makes the ``--expect-identical`` peephole gate hold."""
+
+    @pytest.mark.parametrize("name", ["factorial", "tcas", "replace"])
+    def test_noop(self, name):
+        program = load_workload(name).program
+        optimised, stats = peephole_program(program)
+        assert stats.removed == 0
+        assert optimised.code == program.code
+        assert optimised.labels == program.labels
+
+
+class TestCompiledProgram:
+    SOURCE = """
+    int helper(int a) { return a + 1; }
+    int main() { print(helper(4)); return 0; }
+    """
+
+    def test_function_regions_remapped(self):
+        compiled = compile_source(self.SOURCE, peephole=False)
+        # Force removable content in front of every function by rebuilding
+        # the program with a self-mov prologue at address 0.
+        program = compiled.program
+        padded = Program(
+            code=(make("mov", 1, 1),) + program.code,
+            labels={name: address + 1
+                    for name, address in program.labels.items()},
+            source_lines={address + 1: text
+                          for address, text in program.source_lines.items()},
+            name=program.name)
+        from dataclasses import replace
+        shifted = replace(
+            compiled, program=padded,
+            functions={name: replace(info, start_pc=info.start_pc + 1,
+                                     end_pc=info.end_pc + 1)
+                       for name, info in compiled.functions.items()})
+        optimised, stats = peephole_compiled(shifted)
+        assert stats.removed_movs == 1
+        for name, info in optimised.functions.items():
+            original = compiled.functions[name]
+            assert info.start_pc == original.start_pc
+            assert info.end_pc == original.end_pc
+
+    def test_peephole_method_and_identity_when_clean(self):
+        compiled = compile_source(self.SOURCE, peephole=False)
+        optimised, stats = compiled.peephole()
+        assert stats.removed == 0
+        assert optimised is compiled  # clean programs come back unchanged
+
+
+class TestEnvGating:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv(PEEPHOLE_ENV_VAR, raising=False)
+        assert peephole_enabled_by_env() is False
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("ON", True), ("yes", True),
+        ("0", False), ("off", False), ("", False), ("maybe", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv(PEEPHOLE_ENV_VAR, value)
+        assert peephole_enabled_by_env() is expected
+
+    def test_compile_source_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(PEEPHOLE_ENV_VAR, "1")
+        compiled = compile_source(TestCompiledProgram.SOURCE, peephole=False)
+        assert compiled.program  # explicit False wins; no crash, no pass
+
+
+def test_stats_describe():
+    stats = PeepholeStats(removed_movs=2, removed_branches=1,
+                          fusion_candidates=3, passes=2)
+    assert "2 self-movs" in stats.describe()
+    assert "1 branches-to-next" in stats.describe()
+    assert "3 compare/branch" in stats.describe()
