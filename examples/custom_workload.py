@@ -13,9 +13,10 @@ This example shows the full tool surface for a user-supplied program:
 Run with:  python examples/custom_workload.py
 """
 
+from repro.core import SymbolicCampaign
 from repro.detectors import DetectorSet
 from repro.errors import STANDARD_ERROR_CLASSES
-from repro.frontend import generate_campaign, translate_mips
+from repro.frontend import generate, translate_mips
 from repro.lang import compile_source
 from repro.machine import ExecutionConfig
 from repro.programs.base import Workload
@@ -71,9 +72,21 @@ done:   print $t0
 def analyse(workload: Workload, label: str) -> None:
     print(f"--- {label}: {len(workload.program)} instructions, "
           f"golden output {workload.golden_output()} ---")
+    golden = workload.golden_output()
     for category in ("register", "bus", "functional-unit", "fetch"):
-        campaign, query = generate_campaign(
-            workload, kind="undetected-failure", error_category=category,
+        # The query generator pairs the outcome query with a Table 1 error
+        # class; building the campaign from that pair is the supported way
+        # to sweep the legacy categories (generate_campaign's error_category=
+        # keyword is deprecated in favour of fault models).
+        generated = generate("undetected-failure", category,
+                             golden_output=golden)
+        query = generated.query
+        campaign = SymbolicCampaign(
+            workload.program,
+            input_values=workload.default_input,
+            memory=workload.data_segment,
+            detectors=workload.detectors,
+            error_class=generated.error_class,
             execution_config=ExecutionConfig(
                 max_steps=workload.recommended_max_steps,
                 control_fork_domain="labels"),

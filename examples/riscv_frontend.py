@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The pluggable ISA frontend seam: analysing RISC-V programs.
+
+This example shows the cross-architecture axis opened by the ISA frontend
+registry (``repro.isa.registry``):
+
+* translate a hand-written RV32IM program (RARS-style ``ecall`` conventions)
+  into the SymPLFIED ISA and run a register-fault campaign over it,
+* retarget a bundled workload through the ``"rv32im"`` frontend and check
+  that the campaign results are identical to the native build — the
+  translation is 1:1 and label-preserving, so injection addresses carry over,
+* emit the same program as both MIPS and RISC-V assembly from one
+  SymPLFIED build.
+
+Run with:  python examples/riscv_frontend.py
+"""
+
+from repro.frontend import translate_riscv
+from repro.isa.registry import available_isas, get_frontend
+from repro.programs import load_workload
+from repro.programs.base import Workload
+
+
+#: Greatest common divisor, written against RARS conventions: services
+#: 5 (read int), 1 (print int) and 10 (exit) selected via ``li a7, N``.
+GCD_SOURCE = """
+main:
+        li   a7, 5
+        ecall                   # a0 = first input
+        mv   t0, a0
+        li   a7, 5
+        ecall                   # a0 = second input
+        mv   t1, a0
+loop:
+        beqz t1, done
+        rem  t2, t0, t1
+        mv   t0, t1
+        mv   t1, t2
+        j    loop
+done:
+        mv   a0, t0
+        li   a7, 1
+        ecall                   # print gcd
+        li   a7, 10
+        ecall                   # exit
+"""
+
+
+def campaign_summary(workload: Workload) -> str:
+    campaign, query = workload.campaign(kind="err-output",
+                                        fault_model="register",
+                                        max_states_per_injection=5_000)
+    injections = campaign.plan_injections(sample=8, seed=7)
+    result = campaign.run(query, injections=injections)
+    return (f"{result.injections_run} injections, "
+            f"{result.injections_with_solutions} with err-output solutions, "
+            f"{result.total_solutions} solutions")
+
+
+def main() -> None:
+    print("registered ISA frontends:", ", ".join(available_isas()))
+
+    # 1. A native RISC-V program through the rv32im frontend.
+    program = translate_riscv(GCD_SOURCE, name="gcd")
+    gcd = Workload(name="gcd", program=program,
+                   description="Euclid's gcd, translated from RV32IM",
+                   default_input=(54, 24), isa="rv32im",
+                   recommended_max_steps=1_000)
+    print(f"gcd(54, 24) golden output: {gcd.golden_output()}")
+    print(f"register-fault campaign  : {campaign_summary(gcd)}")
+
+    # 2. Retarget a bundled workload: the sweep must be identical because
+    #    retargeting is structurally the identity on the instruction stream.
+    native = load_workload("factorial")
+    retargeted = load_workload("factorial", isa="rv32im")
+    assert retargeted.program.code == native.program.code
+    native_summary = campaign_summary(native)
+    retargeted_summary = campaign_summary(retargeted)
+    print(f"factorial native build   : {native_summary}")
+    print(f"factorial via rv32im     : {retargeted_summary}")
+    assert native_summary == retargeted_summary
+
+    # 3. One SymPLFIED program, two assembly spellings.
+    for isa in ("mips", "rv32im"):
+        listing = get_frontend(isa).emit(native.program).splitlines()
+        print(f"-- factorial loop in {isa}:")
+        for line in listing[4:9]:
+            print("   " + line)
+
+
+if __name__ == "__main__":
+    main()

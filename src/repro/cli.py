@@ -94,28 +94,35 @@ def _load_workload(args: argparse.Namespace) -> Workload:
             workload.default_input = input_values
         if len(detectors):
             workload.detectors = detectors
-        return workload
-
-    if args.program:
+    elif args.program:
         with open(args.program, "r", encoding="utf-8") as handle:
             program = assemble(handle.read(), name=args.program)
-        return Workload(name=args.program, program=program, detectors=detectors,
-                        default_input=input_values,
-                        recommended_max_steps=args.max_steps)
-
-    if args.minic:
+        workload = Workload(name=args.program, program=program,
+                            detectors=detectors, default_input=input_values,
+                            recommended_max_steps=args.max_steps)
+    elif args.minic:
         with open(args.minic, "r", encoding="utf-8") as handle:
             compiled = compile_source(handle.read(), name=args.minic)
-        return Workload(name=args.minic, program=compiled.program,
-                        data_segment=compiled.initial_memory(),
-                        detectors=detectors, default_input=input_values,
-                        compiled=compiled, recommended_max_steps=args.max_steps)
-
-    with open(args.mips, "r", encoding="utf-8") as handle:
-        program = translate_mips(handle.read(), name=args.mips)
-    return Workload(name=args.mips, program=program, detectors=detectors,
-                    default_input=input_values,
-                    recommended_max_steps=args.max_steps)
+        workload = Workload(name=args.minic, program=compiled.program,
+                            data_segment=compiled.initial_memory(),
+                            detectors=detectors, default_input=input_values,
+                            compiled=compiled,
+                            recommended_max_steps=args.max_steps)
+    else:
+        with open(args.mips, "r", encoding="utf-8") as handle:
+            program = translate_mips(handle.read(), name=args.mips)
+        workload = Workload(name=args.mips, program=program,
+                            detectors=detectors, default_input=input_values,
+                            recommended_max_steps=args.max_steps)
+    isa = getattr(args, "isa", None)
+    if isa is not None:
+        # Registry lookup (not argparse choices=) so runtime-registered
+        # frontends work; unknown names exit with the registry's one-liner.
+        try:
+            workload = workload.retargeted(isa)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    return workload
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -124,6 +131,9 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--program", help="path to a SymPLFIED assembly file")
     parser.add_argument("--minic", help="path to a minic source file")
     parser.add_argument("--mips", help="path to a MIPS assembly file")
+    parser.add_argument("--isa", default=None, metavar="NAME",
+                        help="retarget the workload through a registered ISA "
+                             "frontend (e.g. mips, rv32im) before analysis")
     parser.add_argument("--detectors", help="path to a det(...) detector file")
     parser.add_argument("--input", type=int, nargs="*", default=None,
                         help="input values for the program's read instructions")
@@ -150,11 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="legacy hardware error class to sweep "
                               "(default: register; mutually exclusive with "
                               "--fault-model)")
-    analyze.add_argument("--fault-model", default=None,
-                         choices=sorted(FAULT_MODELS),
+    analyze.add_argument("--fault-model", default=None, metavar="NAME",
                          help="pluggable fault model planning the sweep "
-                              "(repro.faults); combine with --sample/--seed "
-                              "to sweep a deterministic subset of its space")
+                              "(repro.faults registry, e.g. "
+                              f"{', '.join(sorted(FAULT_MODELS))}); combine "
+                              "with --sample/--seed to sweep a deterministic "
+                              "subset of its space")
     analyze.add_argument("--sample", type=_positive_int, default=None,
                          help="sweep a deterministic sample of this many "
                               "injections instead of the full space")
@@ -412,7 +423,11 @@ def _command_analyze(args: argparse.Namespace) -> int:
     query = generate_query(args.query, golden_output=golden,
                            expected_value=expected)
     backend = _resolve_backend(args)
-    model = fault_model(args.fault_model) if args.fault_model else None
+    try:
+        model = fault_model(args.fault_model) if args.fault_model else None
+    except ValueError as exc:
+        # Mirror validate_queue_locator: one readable line, no traceback.
+        raise SystemExit(str(exc)) from None
 
     campaign = SymbolicCampaign(
         workload.program,
@@ -425,13 +440,18 @@ def _command_analyze(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
             control_fork_domain=args.control_fork_domain),
         max_solutions_per_injection=args.max_solutions,
-        max_states_per_injection=args.max_states)
+        max_states_per_injection=args.max_states,
+        isa=workload.isa)
 
     injections = campaign.plan_injections(sample=args.sample, seed=args.seed)
     planned = len(injections)
     if args.max_injections is not None:
         injections = injections[:args.max_injections]
     print(f"program        : {workload.program.describe()}")
+    if workload.isa is not None:
+        # Printed only when an ISA was selected, so default MIPS-path output
+        # stays byte-identical to pre-registry campaigns.
+        print(f"isa            : {workload.isa}")
     print(f"golden output  : {list(golden)}")
     if model is not None:
         print(f"fault model    : {model.name}")
@@ -468,6 +488,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
             "query": query.description,
             "fault_model": (model.name if model is not None
                             else f"error-class:{args.error_class or 'register'}"),
+            "isa": workload.isa,
             "backend": backend,
             "workers": args.workers,
             "granularity": args.granularity,

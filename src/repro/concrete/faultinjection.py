@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..detectors import DetectorSet, EMPTY_DETECTORS
-from ..errors.injector import Injection, register_injection_points
+from ..errors.injector import Injection, _register_injection_points
 from ..isa.program import Program
 from .simulator import ConcreteSimulator
 from .stats import OutcomeDistribution, OutcomeLabeler, printed_value_labeler
@@ -114,8 +114,8 @@ class ConcreteCampaign:
     def enumerate_injections(self,
                              pcs: Optional[Sequence[int]] = None) -> List[Injection]:
         """Register injections at every instruction (or the subset *pcs*)."""
-        return register_injection_points(self.program, policy=self.register_policy,
-                                         pcs=pcs)
+        return _register_injection_points(self.program,
+                                          policy=self.register_policy, pcs=pcs)
 
     def planned_experiments(self,
                             injections: Optional[Sequence[Injection]] = None

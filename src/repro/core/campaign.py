@@ -205,7 +205,8 @@ class SymbolicCampaign:
                  execution_config: Optional[ExecutionConfig] = None,
                  max_solutions_per_injection: int = 10,
                  max_states_per_injection: int = 50_000,
-                 wall_clock_per_injection: Optional[float] = None) -> None:
+                 wall_clock_per_injection: Optional[float] = None,
+                 isa: Optional[str] = None) -> None:
         self.program = program
         self.input_values = tuple(input_values)
         self.memory = dict(memory) if memory else {}
@@ -218,6 +219,9 @@ class SymbolicCampaign:
         self.max_solutions_per_injection = max_solutions_per_injection
         self.max_states_per_injection = max_states_per_injection
         self.wall_clock_per_injection = wall_clock_per_injection
+        #: ISA frontend the program was retargeted through, if any; pure
+        #: provenance metadata pinned into checkpoint headers and specs.
+        self.isa = isa
         self._executor = Executor(program, detectors, self.execution_config)
 
     # ------------------------------------------------------------ enumeration

@@ -57,6 +57,7 @@ def campaign_header(campaign: SymbolicCampaign, query: SearchQuery) -> Dict:
         "error_class": type(campaign.error_class).__name__,
         "fault_model": (None if campaign.fault_model is None
                         else campaign.fault_model.name),
+        "isa": campaign.isa,
         "query": query.description,
         "input_values": tuple(campaign.input_values),
         "search_caps": (campaign.max_solutions_per_injection,

@@ -12,6 +12,7 @@ substitute, with a chosen concrete value).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
@@ -122,6 +123,24 @@ def register_injection_points(program: Program,
                               policy: str = "used",
                               pcs: Optional[Sequence[int]] = None,
                               ) -> List[Injection]:
+    """Enumerate register-error injections following the paper's optimisation.
+
+    .. deprecated:: plan sweeps through the pluggable fault subsystem instead
+       (``repro.faults.FAULT_MODELS["register"]`` /
+       :class:`~repro.faults.models.RegisterValueFault`), which produces the
+       same plan and also covers memory/control/operand models.
+    """
+    warnings.warn(
+        "register_injection_points() is deprecated; plan sweeps through "
+        "repro.faults (fault_model=\"register\" / RegisterValueFault) instead",
+        DeprecationWarning, stacklevel=2)
+    return _register_injection_points(program, policy=policy, pcs=pcs)
+
+
+def _register_injection_points(program: Program,
+                               policy: str = "used",
+                               pcs: Optional[Sequence[int]] = None,
+                               ) -> List[Injection]:
     """Enumerate register-error injections following the paper's optimisation.
 
     For every static instruction (or the subset *pcs*), one injection per

@@ -1,0 +1,48 @@
+"""Shared text helpers for the assembly frontends.
+
+Both built-in frontends (MIPS, RV32IM) use ``#`` line comments and
+double-quoted string literals for the SymPLFIED-native ``prints``/``throw``
+pseudo-instructions, so comment stripping has to be string-aware and the
+escape conventions must round-trip through :meth:`IsaFrontend.emit`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+_STRING_LITERAL_RE = re.compile(r'^"((?:[^"\\]|\\.)*)"$')
+_ESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+
+
+def strip_comment(line: str, comment_char: str = "#") -> str:
+    """Drop a trailing ``#`` comment, ignoring ``#`` inside string literals."""
+    in_string = False
+    escaped = False
+    for index, char in enumerate(line):
+        if escaped:
+            escaped = False
+        elif char == "\\" and in_string:
+            escaped = True
+        elif char == '"':
+            in_string = not in_string
+        elif char == comment_char and not in_string:
+            return line[:index]
+    return line
+
+
+def escape_string(text: str) -> str:
+    """Render *text* as a double-quoted assembly string literal."""
+    body = (text.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n").replace("\t", "\\t"))
+    return f'"{body}"'
+
+
+def unescape_string(token: str) -> Optional[str]:
+    """Parse a double-quoted literal; ``None`` when *token* is not one."""
+    match = _STRING_LITERAL_RE.match(token.strip())
+    if match is None:
+        return None
+    return _ESCAPE_RE.sub(lambda m: _UNESCAPES.get(m.group(1), m.group(1)),
+                          match.group(1))

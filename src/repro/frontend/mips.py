@@ -13,6 +13,14 @@ The translation is line-by-line and label-preserving: each MIPS instruction
 maps to one or a few SymPLFIED instructions, so code addresses stay in the
 same order and error-injection sweeps over the translated program remain
 meaningful.
+
+Since the ISA registry refactor the module exports :class:`MipsFrontend`, an
+:class:`~repro.isa.registry.IsaFrontend` registered as ``"mips"`` that also
+*emits* SymPLFIED programs back as MIPS assembly.  Emission sticks to forms
+the translator maps 1:1 (SPIM-style ``seq``/``sne``/``sgt``/``sge``/``sle``
+set pseudo-ops, immediate third operands for ``sub``/``mul``/``div``/``rem``),
+so ``translate(emit(program))`` reproduces the exact instruction sequence and
+label table — retargeting never moves an injection address.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa.instructions import Instruction, make
 from ..isa.program import Program, ProgramBuilder
+from ..isa.registry import IsaAbi, IsaFrontend
+from .common import escape_string, strip_comment, unescape_string
 
 
 class MipsTranslationError(ValueError):
@@ -33,9 +43,7 @@ class MipsTranslationError(ValueError):
         super().__init__(message)
 
 
-#: MIPS register names -> architectural register numbers.
-MIPS_REGISTERS: Dict[str, int] = {}
-for _number, _names in {
+_REGISTER_TABLE = {
     0: ("zero",), 1: ("at",), 2: ("v0",), 3: ("v1",),
     4: ("a0",), 5: ("a1",), 6: ("a2",), 7: ("a3",),
     8: ("t0",), 9: ("t1",), 10: ("t2",), 11: ("t3",),
@@ -44,7 +52,14 @@ for _number, _names in {
     20: ("s4",), 21: ("s5",), 22: ("s6",), 23: ("s7",),
     24: ("t8",), 25: ("t9",), 26: ("k0",), 27: ("k1",),
     28: ("gp",), 29: ("sp",), 30: ("fp", "s8"), 31: ("ra",),
-}.items():
+}
+
+#: MIPS register names -> architectural register numbers.
+MIPS_REGISTERS: Dict[str, int] = {}
+#: Architectural register numbers -> canonical MIPS names (for emission).
+MIPS_REGISTER_NAMES: Dict[int, str] = {}
+for _number, _names in _REGISTER_TABLE.items():
+    MIPS_REGISTER_NAMES[_number] = _names[0]
     for _name in _names:
         MIPS_REGISTERS[_name] = _number
 for _n in range(32):
@@ -54,10 +69,14 @@ for _n in range(32):
 _LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:")
 _DISPLACEMENT_RE = re.compile(r"^(-?\d+)\(\$([A-Za-z0-9]+)\)$")
 
-#: Three-register MIPS ops -> SymPLFIED opcodes.
+#: Three-register MIPS ops -> SymPLFIED opcodes.  When the last operand is an
+#: immediate instead of a register (the SPIM/MARS pseudo-op forms, e.g.
+#: ``sub $t0, $t1, 1``), the translator appends ``i`` to the SymPLFIED
+#: opcode, so every entry here also covers the immediate form.
 _RRR_MAP = {
     "add": "add", "addu": "add", "sub": "sub", "subu": "sub",
-    "mul": "mult", "and": "and", "or": "or", "xor": "xor",
+    "mul": "mult", "div": "div", "divu": "div", "rem": "mod", "remu": "mod",
+    "and": "and", "or": "or", "xor": "xor",
     "slt": "setlt", "sltu": "setlt", "sgt": "setgt", "sge": "setge",
     "sle": "setle", "seq": "seteq", "sne": "setne",
 }
@@ -67,6 +86,26 @@ _RRI_MAP = {
     "addi": "addi", "addiu": "addi", "andi": "andi", "ori": "ori",
     "xori": "xori", "sll": "slli", "srl": "srli",
     "slti": "setlti", "sltiu": "setlti",
+}
+
+#: SymPLFIED opcode -> MIPS mnemonic for register-register-register forms.
+_RRR_EMIT = {
+    "add": "add", "sub": "sub", "mult": "mul", "div": "div", "mod": "rem",
+    "and": "and", "or": "or", "xor": "xor",
+    "seteq": "seq", "setne": "sne", "setgt": "sgt", "setlt": "slt",
+    "setge": "sge", "setle": "sle",
+}
+
+#: SymPLFIED opcode -> MIPS mnemonic for register-register-immediate forms.
+#: Opcodes without a native MIPS immediate form fall back to the SPIM-style
+#: pseudo-op spelling (mnemonic with a literal third operand), which the
+#: translator maps straight back through :data:`_RRR_MAP`.
+_RRI_EMIT = {
+    "addi": "addi", "subi": "sub", "multi": "mul", "divi": "div",
+    "modi": "rem", "andi": "andi", "ori": "ori", "xori": "xori",
+    "slli": "sll", "srli": "srl",
+    "seteqi": "seq", "setnei": "sne", "setgti": "sgt", "setlti": "slti",
+    "setgei": "sge", "setlei": "sle",
 }
 
 
@@ -93,17 +132,33 @@ def _split_operands(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
-class MipsTranslator:
-    """Translate MIPS assembly text into a SymPLFIED :class:`Program`."""
+#: Calling convention of the MIPS o32 user-level subset the frontend accepts.
+MIPS_ABI = IsaAbi(
+    stack_pointer="$sp",
+    return_address="$ra",
+    return_value="$v0",
+    argument_registers=("$a0", "$a1", "$a2", "$a3"),
+    caller_saved=("$t0", "$t1", "$t2", "$t3", "$t4",
+                  "$t5", "$t6", "$t7", "$t8", "$t9"),
+    notes="MIPS numbering matches SymPLFIED 1:1 ($zero=$0, $sp=$29, $ra=$31).",
+)
 
-    def __init__(self, name: str = "mips") -> None:
-        self.name = name
 
-    def translate(self, source: str) -> Program:
-        builder = ProgramBuilder(name=self.name)
+class MipsFrontend(IsaFrontend):
+    """The ``"mips"`` ISA frontend: MIPS32 subset <-> SymPLFIED programs."""
+
+    name = "mips"
+    description = "MIPS32 user-level integer subset (SPIM conventions)"
+    registers = MIPS_REGISTERS
+    abi = MIPS_ABI
+
+    # ------------------------------------------------------------- translate
+
+    def translate(self, source: str, name: str = "mips") -> Program:
+        builder = ProgramBuilder(name=name)
         in_text_segment = True
         for line_number, raw_line in enumerate(source.splitlines(), start=1):
-            line = raw_line.split("#")[0].strip()
+            line = strip_comment(raw_line).strip()
             if not line:
                 continue
             if line.startswith("."):
@@ -134,11 +189,29 @@ class MipsTranslator:
         parts = line.split(None, 1)
         mnemonic = parts[0].lower()
         operand_text = parts[1] if len(parts) > 1 else ""
+
+        # String-carrying pseudo-ops are parsed before comma-splitting so the
+        # literal may contain commas.
+        if mnemonic in ("prints", "throw"):
+            text = unescape_string(operand_text)
+            if text is None:
+                raise MipsTranslationError(
+                    f'{mnemonic} expects a double-quoted string, got '
+                    f'{operand_text.strip()!r}', line_number)
+            return [make(mnemonic, text)]
+
         operands = _split_operands(operand_text)
 
         if mnemonic in _RRR_MAP:
-            rd, rs, rt = (_parse_register(op, line_number) for op in operands)
-            return [make(_RRR_MAP[mnemonic], rd, rs, rt)]
+            rd = _parse_register(operands[0], line_number)
+            rs = _parse_register(operands[1], line_number)
+            last = operands[2]
+            if last.startswith("$"):
+                return [make(_RRR_MAP[mnemonic], rd, rs,
+                             _parse_register(last, line_number))]
+            # SPIM/MARS-style immediate pseudo-op form, e.g. ``sub $1, $2, 1``.
+            return [make(_RRR_MAP[mnemonic] + "i", rd, rs,
+                         _parse_immediate(last, line_number))]
 
         if mnemonic in _RRI_MAP:
             rd = _parse_register(operands[0], line_number)
@@ -208,6 +281,8 @@ class MipsTranslator:
             return [make("read", _parse_register(operands[0], line_number))]
         if mnemonic == "print":
             return [make("print", _parse_register(operands[0], line_number))]
+        if mnemonic == "check":
+            return [make("check", _parse_immediate(operands[0], line_number))]
         if mnemonic in ("halt", "exit"):
             return [make("halt")]
 
@@ -237,7 +312,64 @@ class MipsTranslator:
         base = _parse_register(match.group(2), line_number)
         return base, offset
 
+    # ------------------------------------------------------------------ emit
+
+    def emit_instruction(self, instruction: Instruction) -> str:
+        opcode = instruction.opcode
+        ops = instruction.operands
+        def reg(number: int) -> str:
+            return "$" + MIPS_REGISTER_NAMES[number]
+
+        if opcode in _RRR_EMIT:
+            return f"{_RRR_EMIT[opcode]} {reg(ops[0])}, {reg(ops[1])}, {reg(ops[2])}"
+        if opcode in _RRI_EMIT:
+            return f"{_RRI_EMIT[opcode]} {reg(ops[0])}, {reg(ops[1])}, {ops[2]}"
+        if opcode == "mov":
+            return f"move {reg(ops[0])}, {reg(ops[1])}"
+        if opcode == "li":
+            return f"li {reg(ops[0])}, {ops[1]}"
+        if opcode == "ldi":
+            return f"lw {reg(ops[0])}, {ops[2]}({reg(ops[1])})"
+        if opcode == "sti":
+            return f"sw {reg(ops[0])}, {ops[2]}({reg(ops[1])})"
+        if opcode in ("beq", "bne"):
+            return f"{opcode} {reg(ops[0])}, {ops[1]}, {ops[2]}"
+        if opcode == "jmp":
+            return f"j {ops[0]}"
+        if opcode == "jal":
+            return f"jal {ops[0]}"
+        if opcode == "jr":
+            return f"jr {reg(ops[0])}"
+        if opcode in ("read", "print"):
+            return f"{opcode} {reg(ops[0])}"
+        if opcode in ("prints", "throw"):
+            return f"{opcode} {escape_string(ops[0])}"
+        if opcode == "check":
+            return f"check {ops[0]}"
+        if opcode in ("halt", "nop"):
+            return opcode
+        raise MipsTranslationError(
+            f"cannot emit SymPLFIED opcode {opcode!r} as MIPS")
+
+
+#: The registered ``"mips"`` frontend instance.
+MIPS_FRONTEND = MipsFrontend()
+
+
+class MipsTranslator:
+    """Translate MIPS assembly text into a SymPLFIED :class:`Program`.
+
+    Compatibility wrapper kept from before the ISA registry refactor; new
+    code should use ``get_frontend("mips")`` / :data:`MIPS_FRONTEND`.
+    """
+
+    def __init__(self, name: str = "mips") -> None:
+        self.name = name
+
+    def translate(self, source: str) -> Program:
+        return MIPS_FRONTEND.translate(source, name=self.name)
+
 
 def translate_mips(source: str, name: str = "mips") -> Program:
     """Convenience wrapper: translate MIPS *source* into a program."""
-    return MipsTranslator(name=name).translate(source)
+    return MIPS_FRONTEND.translate(source, name=name)

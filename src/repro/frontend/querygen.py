@@ -10,6 +10,7 @@ it with the corresponding error class, producing a ready-to-run
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
@@ -89,7 +90,7 @@ def generate(kind: str, error_category: str = "register",
 
 def generate_campaign(workload: Workload,
                       kind: str = "wrong-final-value",
-                      error_category: str = "register",
+                      error_category: Optional[str] = None,
                       fault_model: Optional[Union[str, FaultModel]] = None,
                       expected_value: Optional[int] = None,
                       execution_config: Optional[ExecutionConfig] = None,
@@ -100,9 +101,19 @@ def generate_campaign(workload: Workload,
     (which is what the tcas experiment uses).  *fault_model* — a
     :class:`~repro.faults.models.FaultModel` or a registry name
     (``"register"``, ``"memory"``, ``"control"``, ``"operand"``) — plans
-    the sweep through the pluggable fault subsystem instead of the legacy
-    *error_category* sweep.
+    the sweep through the pluggable fault subsystem.
+
+    .. deprecated:: passing *error_category* explicitly is deprecated in
+       favour of *fault_model* (the :mod:`repro.faults` registry is the one
+       planner); leaving it ``None`` keeps the historical register sweep.
     """
+    if error_category is not None:
+        warnings.warn(
+            "error_category= is deprecated; plan sweeps with fault_model= "
+            "(the repro.faults registry, e.g. fault_model=\"register\") "
+            "instead", DeprecationWarning, stacklevel=2)
+    else:
+        error_category = "register"
     golden = workload.golden_output()
     if expected_value is None:
         printed = [item for item in golden if isinstance(item, int)]
@@ -121,5 +132,6 @@ def generate_campaign(workload: Workload,
         error_class=generated.error_class,
         fault_model=fault_model,
         execution_config=config,
+        isa=workload.isa,
         **campaign_options)
     return campaign, generated.query

@@ -1,0 +1,476 @@
+"""RISC-V front-end: translate an RV32IM assembly subset into the SymPLFIED ISA.
+
+This is the second architecture behind the pluggable frontend seam: the
+``"rv32im"`` :class:`~repro.isa.registry.IsaFrontend` accepts the RV32IM
+user-level integer subset — ALU register/immediate forms (including the M
+extension's ``mul``/``div``/``rem``), ``lw``/``sw`` displacement addressing,
+the ``slt`` family, branches, ``jal``/``jalr``, the ``li``/``mv``/``nop``
+pseudo-instructions — and the RARS-style ``ecall`` read/print/exit
+conventions (``a7`` = 5, 1, 10/93).
+
+Register mapping.  SymPLFIED hardwires register 31 as the link register of
+``jal`` and the minic ABI uses $29 as the stack pointer, whereas RISC-V links
+through ``ra`` (x1) and stacks on ``sp`` (x2).  The frontend therefore maps
+registers by number *except* for the swaps 1<->31 and 2<->29: ``ra`` is
+SymPLFIED $31, ``sp`` is $29, and in exchange ``t6`` (x31) lands on $1 and
+``t4`` (x29) on $2.  $1/``t6`` doubles as the scratch register for expanded
+compare-and-branch pseudos, exactly like ``$at`` on the MIPS side.
+
+Like the MIPS frontend, translation is line-by-line and label-preserving, and
+:meth:`emit` only produces spellings the translator maps 1:1 back (RARS-style
+``seq``/``sgt``/... set pseudos, immediate third operands for ops without a
+native I-form), so ``translate(emit(program))`` reproduces the exact
+instruction sequence — injection sweeps stay address-meaningful across
+retargeting.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instructions import Instruction, make
+from ..isa.program import Program, ProgramBuilder
+from ..isa.registry import IsaAbi, IsaFrontend
+from .common import escape_string, strip_comment, unescape_string
+
+
+class RiscvTranslationError(ValueError):
+    """Raised when an RV32IM line cannot be translated."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+#: ABI register names in x0..x31 order.
+_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+#: x-number <-> SymPLFIED register number: identity except the two swaps
+#: that align ra/sp with SymPLFIED's hardwired $31 link and $29 stack slots.
+_NUMBER_SWAPS = {1: 31, 31: 1, 2: 29, 29: 2}
+
+
+def _symplfied_number(x_number: int) -> int:
+    return _NUMBER_SWAPS.get(x_number, x_number)
+
+
+#: RISC-V register names (ABI and xN spellings) -> SymPLFIED register numbers.
+RISCV_REGISTERS: Dict[str, int] = {}
+#: SymPLFIED register numbers -> canonical ABI names (for emission).
+RISCV_REGISTER_NAMES: Dict[int, str] = {}
+for _x, _abi_name in enumerate(_ABI_NAMES):
+    _mapped = _symplfied_number(_x)
+    RISCV_REGISTERS[_abi_name] = _mapped
+    RISCV_REGISTERS[f"x{_x}"] = _mapped
+    RISCV_REGISTER_NAMES[_mapped] = _abi_name
+RISCV_REGISTERS["fp"] = RISCV_REGISTERS["s0"]
+
+#: SymPLFIED register numbers the translator watches for ecall conventions.
+_A0 = RISCV_REGISTERS["a0"]
+_A7 = RISCV_REGISTERS["a7"]
+
+#: RARS/spike-proxy ecall services the frontend understands.
+_ECALL_SERVICES = {
+    1: "print",    # print integer in a0
+    5: "read",     # read integer into a0
+    10: "halt",    # exit
+    93: "halt",    # Linux-style exit
+}
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:")
+_DISPLACEMENT_RE = re.compile(r"^(-?\d+)\(([A-Za-z][A-Za-z0-9]*|x\d+)\)$")
+
+#: Three-register RV32IM ops -> SymPLFIED opcodes.  As on the MIPS side, a
+#: literal last operand selects the immediate pseudo-op form (``i`` suffix).
+_RRR_MAP = {
+    "add": "add", "sub": "sub", "mul": "mult", "div": "div", "divu": "div",
+    "rem": "mod", "remu": "mod", "and": "and", "or": "or", "xor": "xor",
+    "slt": "setlt", "sltu": "setlt",
+    # RARS set pseudo-ops, also what emit() uses for the seteq family.
+    "seq": "seteq", "sne": "setne", "sgt": "setgt", "sgtu": "setgt",
+    "sge": "setge", "sle": "setle",
+}
+
+#: Register-immediate RV32IM ops -> SymPLFIED opcodes.
+_RRI_MAP = {
+    "addi": "addi", "andi": "andi", "ori": "ori", "xori": "xori",
+    "slli": "slli", "srli": "srli", "slti": "setlti", "sltiu": "setlti",
+}
+
+#: Compare-and-branch pseudos -> the setcc used before the ``bne $1 0``.
+_COMPARE_BRANCHES = {
+    "blt": "setlt", "bltu": "setlt", "bge": "setge", "bgeu": "setge",
+    "bgt": "setgt", "bgtu": "setgt", "ble": "setle", "bleu": "setle",
+}
+_ZERO_COMPARE_BRANCHES = {
+    "bltz": "setlt", "bgez": "setge", "bgtz": "setgt", "blez": "setle",
+}
+
+#: SymPLFIED opcode -> RV32IM mnemonic for register-register-register forms.
+_RRR_EMIT = {
+    "add": "add", "sub": "sub", "mult": "mul", "div": "div", "mod": "rem",
+    "and": "and", "or": "or", "xor": "xor",
+    "seteq": "seq", "setne": "sne", "setgt": "sgt", "setlt": "slt",
+    "setge": "sge", "setle": "sle",
+}
+
+#: SymPLFIED opcode -> RV32IM mnemonic for register-register-immediate forms.
+_RRI_EMIT = {
+    "addi": "addi", "subi": "sub", "multi": "mul", "divi": "div",
+    "modi": "rem", "andi": "andi", "ori": "ori", "xori": "xori",
+    "slli": "slli", "srli": "srli",
+    "seteqi": "seq", "setnei": "sne", "setgti": "sgt", "setlti": "slti",
+    "setgei": "sge", "setlei": "sle",
+}
+
+
+def _sanitize_label(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_]", "_", label)
+
+
+def _parse_register(token: str, line_number: int) -> int:
+    name = token.strip().lower()
+    if name not in RISCV_REGISTERS:
+        raise RiscvTranslationError(f"unknown RISC-V register {token!r}",
+                                    line_number)
+    return RISCV_REGISTERS[name]
+
+
+def _is_register(token: str) -> bool:
+    return token.strip().lower() in RISCV_REGISTERS
+
+
+def _parse_immediate(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise RiscvTranslationError(f"bad immediate {token!r}",
+                                    line_number) from None
+
+
+def _split_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+#: Calling convention of the RV32IM user-level subset the frontend accepts.
+RISCV_ABI = IsaAbi(
+    stack_pointer="sp",
+    return_address="ra",
+    return_value="a0",
+    argument_registers=("a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"),
+    caller_saved=("t0", "t1", "t2", "t3", "t4", "t5", "t6"),
+    notes="ra (x1) maps to SymPLFIED $31, sp (x2) to $29; t6/t4 take the "
+          "freed $1/$2 slots. $1 (t6) is the scratch register of expanded "
+          "compare-and-branch pseudos.",
+)
+
+
+class RiscvFrontend(IsaFrontend):
+    """The ``"rv32im"`` ISA frontend: RV32IM subset <-> SymPLFIED programs."""
+
+    name = "rv32im"
+    description = "RISC-V RV32IM user-level integer subset (RARS conventions)"
+    registers = RISCV_REGISTERS
+    abi = RISCV_ABI
+
+    # ------------------------------------------------------------- translate
+
+    def translate(self, source: str, name: str = "rv32im") -> Program:
+        builder = ProgramBuilder(name=name)
+        in_text_segment = True
+        # Value of the last ``li a7, N`` still pending at this point, used to
+        # resolve ``ecall``.  Reset at labels (a jump may land with any a7)
+        # and whenever a7 is rewritten by anything else.
+        pending_a7: Optional[int] = None
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = strip_comment(raw_line).strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                directive = line.split()[0]
+                if directive == ".data":
+                    in_text_segment = False
+                elif directive in (".text", ".section"):
+                    in_text_segment = directive == ".text" or ".text" in line
+                continue
+            if not in_text_segment:
+                continue
+            while True:
+                match = _LABEL_RE.match(line)
+                if match is None:
+                    break
+                builder.label(_sanitize_label(match.group(1)))
+                pending_a7 = None
+                line = line[match.end():].strip()
+            if not line:
+                continue
+            instructions = self._translate_instruction(line, line_number,
+                                                       pending_a7)
+            pending_a7 = self._next_pending_a7(instructions, pending_a7)
+            for instruction in instructions:
+                builder.emit(instruction, source=raw_line.strip())
+        return builder.build()
+
+    @staticmethod
+    def _next_pending_a7(instructions: Sequence[Instruction],
+                         pending_a7: Optional[int]) -> Optional[int]:
+        for instruction in instructions:
+            if (instruction.opcode == "li" and instruction.operands[0] == _A7):
+                pending_a7 = instruction.operands[1]
+            elif (instruction.opcode == "addi"
+                    and instruction.operands[0] == _A7
+                    and instruction.operands[1] == 0):
+                pending_a7 = instruction.operands[2]
+            elif _A7 in instruction.registers_written():
+                pending_a7 = None
+        return pending_a7
+
+    # ----------------------------------------------------------- single lines
+
+    def _translate_instruction(self, line: str, line_number: int,
+                               pending_a7: Optional[int]) -> List[Instruction]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+
+        if mnemonic in ("prints", "throw"):
+            text = unescape_string(operand_text)
+            if text is None:
+                raise RiscvTranslationError(
+                    f'{mnemonic} expects a double-quoted string, got '
+                    f'{operand_text.strip()!r}', line_number)
+            return [make(mnemonic, text)]
+
+        operands = _split_operands(operand_text)
+
+        if mnemonic in _RRR_MAP:
+            rd = _parse_register(operands[0], line_number)
+            rs = _parse_register(operands[1], line_number)
+            last = operands[2]
+            if _is_register(last):
+                return [make(_RRR_MAP[mnemonic], rd, rs,
+                             _parse_register(last, line_number))]
+            # RARS-style immediate pseudo-op form, e.g. ``sub t0, t1, 1``.
+            return [make(_RRR_MAP[mnemonic] + "i", rd, rs,
+                         _parse_immediate(last, line_number))]
+
+        if mnemonic in ("sll", "srl"):
+            rd = _parse_register(operands[0], line_number)
+            rs = _parse_register(operands[1], line_number)
+            if _is_register(operands[2]):
+                raise RiscvTranslationError(
+                    f"{mnemonic} with a register shift amount is not "
+                    "supported; use an immediate shift", line_number)
+            return [make(mnemonic + "i", rd, rs,
+                         _parse_immediate(operands[2], line_number))]
+
+        if mnemonic in _RRI_MAP:
+            rd = _parse_register(operands[0], line_number)
+            rs = _parse_register(operands[1], line_number)
+            imm = _parse_immediate(operands[2], line_number)
+            return [make(_RRI_MAP[mnemonic], rd, rs, imm)]
+
+        if mnemonic == "mv":
+            rd = _parse_register(operands[0], line_number)
+            rs = _parse_register(operands[1], line_number)
+            return [make("mov", rd, rs)]
+        if mnemonic == "neg":
+            rd = _parse_register(operands[0], line_number)
+            rs = _parse_register(operands[1], line_number)
+            return [make("sub", rd, 0, rs)]
+        if mnemonic in ("seqz", "snez"):
+            rd = _parse_register(operands[0], line_number)
+            rs = _parse_register(operands[1], line_number)
+            opcode = "seteqi" if mnemonic == "seqz" else "setnei"
+            return [make(opcode, rd, rs, 0)]
+
+        if mnemonic in ("li", "la", "lui"):
+            rd = _parse_register(operands[0], line_number)
+            imm = _parse_immediate(operands[1], line_number)
+            return [make("li", rd, imm)]
+
+        if mnemonic in ("lw", "lh", "lhu", "lb", "lbu"):
+            rt = _parse_register(operands[0], line_number)
+            base, offset = self._parse_displacement(operands[1], line_number)
+            return [make("ldi", rt, base, offset)]
+        if mnemonic in ("sw", "sh", "sb"):
+            rt = _parse_register(operands[0], line_number)
+            base, offset = self._parse_displacement(operands[1], line_number)
+            return [make("sti", rt, base, offset)]
+
+        if mnemonic in ("beq", "bne"):
+            return self._translate_branch(operands, line_number,
+                                          equal=mnemonic == "beq")
+        if mnemonic in ("beqz", "bnez"):
+            rs = _parse_register(operands[0], line_number)
+            label = _sanitize_label(operands[1])
+            opcode = "beq" if mnemonic == "beqz" else "bne"
+            return [make(opcode, rs, 0, label)]
+        if mnemonic in _COMPARE_BRANCHES:
+            rs = _parse_register(operands[0], line_number)
+            rt = _parse_register(operands[1], line_number)
+            label = _sanitize_label(operands[2])
+            return [make(_COMPARE_BRANCHES[mnemonic], 1, rs, rt),
+                    make("bne", 1, 0, label)]
+        if mnemonic in _ZERO_COMPARE_BRANCHES:
+            rs = _parse_register(operands[0], line_number)
+            label = _sanitize_label(operands[1])
+            return [make(_ZERO_COMPARE_BRANCHES[mnemonic], 1, rs, 0),
+                    make("bne", 1, 0, label)]
+
+        if mnemonic == "j":
+            return [make("jmp", _sanitize_label(operands[0]))]
+        if mnemonic == "jal":
+            if len(operands) == 1:
+                return [make("jal", _sanitize_label(operands[0]))]
+            rd = _parse_register(operands[0], line_number)
+            label = _sanitize_label(operands[1])
+            if rd == 0:
+                return [make("jmp", label)]
+            if rd == RISCV_REGISTERS["ra"]:
+                return [make("jal", label)]
+            raise RiscvTranslationError(
+                "jal may only link through ra (or x0 for a plain jump); "
+                f"got {operands[0]!r}", line_number)
+        if mnemonic == "jalr":
+            return self._translate_jalr(operands, line_number)
+        if mnemonic == "jr":
+            return [make("jr", _parse_register(operands[0], line_number))]
+        if mnemonic == "ret":
+            return [make("jr", RISCV_REGISTERS["ra"])]
+
+        if mnemonic == "nop":
+            return [make("nop")]
+
+        if mnemonic == "ecall":
+            service = _ECALL_SERVICES.get(pending_a7) if pending_a7 is not None \
+                else None
+            if service == "read":
+                return [make("read", _A0)]
+            if service == "print":
+                return [make("print", _A0)]
+            if service == "halt":
+                return [make("halt")]
+            raise RiscvTranslationError(
+                "ecall needs a preceding `li a7, N` selecting a supported "
+                "service (1=print, 5=read, 10/93=exit); alternatively use the "
+                "read/print/exit pseudo-instructions", line_number)
+
+        # SymPLFIED-native pseudo-instructions, mirroring the MIPS frontend.
+        if mnemonic == "read":
+            return [make("read", _parse_register(operands[0], line_number))]
+        if mnemonic == "print":
+            return [make("print", _parse_register(operands[0], line_number))]
+        if mnemonic == "check":
+            return [make("check", _parse_immediate(operands[0], line_number))]
+        if mnemonic in ("halt", "exit"):
+            return [make("halt")]
+
+        raise RiscvTranslationError(
+            f"unsupported RV32IM instruction {mnemonic!r}", line_number)
+
+    def _translate_branch(self, operands: Sequence[str], line_number: int,
+                          equal: bool) -> List[Instruction]:
+        rs = _parse_register(operands[0], line_number)
+        label = _sanitize_label(operands[2])
+        second = operands[1]
+        if _is_register(second):
+            rt = _parse_register(second, line_number)
+            compare = "seteq" if equal else "setne"
+            return [make(compare, 1, rs, rt), make("bne", 1, 0, label)]
+        immediate = _parse_immediate(second, line_number)
+        opcode = "beq" if equal else "bne"
+        return [make(opcode, rs, immediate, label)]
+
+    def _translate_jalr(self, operands: Sequence[str],
+                        line_number: int) -> List[Instruction]:
+        # Supported non-linking forms: ``jalr x0, rs, 0`` and ``jalr x0, 0(rs)``.
+        if len(operands) == 1:
+            raise RiscvTranslationError(
+                "linking jalr is not supported (SymPLFIED has no "
+                "register-indirect call); use `jalr x0, rs, 0` for a plain "
+                "indirect jump or `ret` to return", line_number)
+        rd = _parse_register(operands[0], line_number)
+        if rd != 0:
+            raise RiscvTranslationError(
+                "jalr may only discard its link (rd = x0); SymPLFIED has no "
+                "register-indirect call", line_number)
+        if len(operands) == 2:
+            match = _DISPLACEMENT_RE.match(operands[1].replace(" ", ""))
+            if match is None or int(match.group(1)) != 0:
+                raise RiscvTranslationError(
+                    f"bad jalr operand {operands[1]!r} (only offset 0 is "
+                    "supported)", line_number)
+            return [make("jr", _parse_register(match.group(2), line_number))]
+        if _parse_immediate(operands[2], line_number) != 0:
+            raise RiscvTranslationError(
+                "jalr offsets other than 0 are not supported", line_number)
+        return [make("jr", _parse_register(operands[1], line_number))]
+
+    @staticmethod
+    def _parse_displacement(token: str, line_number: int) -> Tuple[int, int]:
+        match = _DISPLACEMENT_RE.match(token.replace(" ", ""))
+        if match is None:
+            raise RiscvTranslationError(f"bad address operand {token!r}",
+                                        line_number)
+        offset = int(match.group(1))
+        base = _parse_register(match.group(2), line_number)
+        return base, offset
+
+    # ------------------------------------------------------------------ emit
+
+    def emit_instruction(self, instruction: Instruction) -> str:
+        opcode = instruction.opcode
+        ops = instruction.operands
+
+        def reg(number: int) -> str:
+            return RISCV_REGISTER_NAMES[number]
+
+        if opcode in _RRR_EMIT:
+            return f"{_RRR_EMIT[opcode]} {reg(ops[0])}, {reg(ops[1])}, {reg(ops[2])}"
+        if opcode in _RRI_EMIT:
+            return f"{_RRI_EMIT[opcode]} {reg(ops[0])}, {reg(ops[1])}, {ops[2]}"
+        if opcode == "mov":
+            return f"mv {reg(ops[0])}, {reg(ops[1])}"
+        if opcode == "li":
+            return f"li {reg(ops[0])}, {ops[1]}"
+        if opcode == "ldi":
+            return f"lw {reg(ops[0])}, {ops[2]}({reg(ops[1])})"
+        if opcode == "sti":
+            return f"sw {reg(ops[0])}, {ops[2]}({reg(ops[1])})"
+        if opcode in ("beq", "bne"):
+            if ops[1] == 0:
+                return f"{opcode}z {reg(ops[0])}, {ops[2]}"
+            return f"{opcode} {reg(ops[0])}, {ops[1]}, {ops[2]}"
+        if opcode == "jmp":
+            return f"j {ops[0]}"
+        if opcode == "jal":
+            return f"jal {ops[0]}"
+        if opcode == "jr":
+            return f"jr {reg(ops[0])}"
+        if opcode in ("read", "print"):
+            return f"{opcode} {reg(ops[0])}"
+        if opcode in ("prints", "throw"):
+            return f"{opcode} {escape_string(ops[0])}"
+        if opcode == "check":
+            return f"check {ops[0]}"
+        if opcode in ("halt", "nop"):
+            return opcode
+        raise RiscvTranslationError(
+            f"cannot emit SymPLFIED opcode {opcode!r} as RV32IM")
+
+
+#: The registered ``"rv32im"`` frontend instance.
+RISCV_FRONTEND = RiscvFrontend()
+
+
+def translate_riscv(source: str, name: str = "rv32im") -> Program:
+    """Convenience wrapper: translate RV32IM *source* into a program."""
+    return RISCV_FRONTEND.translate(source, name=name)

@@ -23,6 +23,8 @@ from .instructions import (
 )
 from .program import Program, ProgramBuilder, ProgramError
 from .parser import AssemblyError, assemble, assemble_lines, parse_instruction
+from .registry import (ISA_FRONTENDS, IsaAbi, IsaFrontend, available_isas,
+                       get_frontend, register_frontend, retarget_program)
 
 __all__ = [
     "ERR", "ErrValue", "Value", "format_value", "is_concrete", "is_err",
@@ -34,4 +36,6 @@ __all__ = [
     "is_control_transfer", "make", "reads_memory", "writes_memory",
     "Program", "ProgramBuilder", "ProgramError",
     "AssemblyError", "assemble", "assemble_lines", "parse_instruction",
+    "ISA_FRONTENDS", "IsaAbi", "IsaFrontend", "available_isas",
+    "get_frontend", "register_frontend", "retarget_program",
 ]

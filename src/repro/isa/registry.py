@@ -1,0 +1,151 @@
+"""Pluggable ISA frontend registry.
+
+The paper's prototype translates the target architecture's assembly (MIPS in
+the prototype) into SymPLFIED's own language precisely so the error-model
+claims are not tied to one ISA.  This module is that seam made explicit: an
+:class:`IsaFrontend` knows how to *translate* an ISA's assembly into a
+SymPLFIED :class:`~repro.isa.program.Program` and how to *emit* a SymPLFIED
+program back as that ISA's assembly.  Frontends self-register under a short
+name (``"mips"``, ``"rv32im"``) in :data:`ISA_FRONTENDS`; everything above
+this layer — the minic compiler, workloads, campaigns, the CLI ``--isa``
+flag — looks frontends up by name via :func:`get_frontend`.
+
+Every built-in frontend keeps translation **label-preserving and 1:1**: one
+assembly instruction becomes exactly one SymPLFIED instruction, labels keep
+their relative order and addresses.  That invariant is what keeps injection
+sweeps address-meaningful across ISAs: retargeting a workload through
+``emit`` + ``translate`` reproduces the identical instruction sequence, so a
+fault plan computed for one ISA's build of a program is the same plan for
+another's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .instructions import Instruction
+from .program import Program
+
+
+@dataclass(frozen=True)
+class IsaAbi:
+    """Calling-convention metadata for an ISA frontend.
+
+    Register names are in the frontend's own spelling (``"$sp"`` for MIPS,
+    ``"sp"`` for RISC-V); :attr:`IsaFrontend.registers` maps them onto
+    SymPLFIED register numbers.
+    """
+
+    stack_pointer: str
+    return_address: str
+    return_value: str
+    argument_registers: Tuple[str, ...] = ()
+    caller_saved: Tuple[str, ...] = ()
+    notes: str = ""
+
+
+class IsaFrontend:
+    """Base class / protocol for ISA frontends.
+
+    Concrete frontends provide:
+
+    ``name``
+        the registry key (``"mips"``, ``"rv32im"``),
+    ``registers``
+        a mapping from the ISA's register names to SymPLFIED register
+        numbers (0..31),
+    ``abi``
+        an :class:`IsaAbi` describing the calling convention,
+    ``translate(source, name=...)``
+        assembly text -> SymPLFIED :class:`Program` (label-preserving), and
+    ``emit(program)``
+        SymPLFIED :class:`Program` -> assembly text such that
+        ``translate(emit(p))`` reproduces ``p`` exactly.
+    """
+
+    name: str = ""
+    description: str = ""
+    registers: Mapping[str, int] = {}
+    abi: IsaAbi = IsaAbi(stack_pointer="", return_address="", return_value="")
+
+    def translate(self, source: str, name: str = "program") -> Program:
+        raise NotImplementedError
+
+    def emit_instruction(self, instruction: Instruction) -> str:
+        raise NotImplementedError
+
+    def emit(self, program: Program) -> str:
+        """Render *program* as this ISA's assembly, labels preserved.
+
+        The layout mirrors :meth:`Program.render`: labels are printed on
+        their own line immediately before the instruction they address, and
+        labels that point one past the last instruction trail at the end.
+        """
+        labels_at: Dict[int, List[str]] = {}
+        for label, address in program.labels.items():
+            labels_at.setdefault(address, []).append(label)
+        lines = []
+        for address, instruction in enumerate(program.code):
+            for label in sorted(labels_at.get(address, ())):
+                lines.append(f"{label}:")
+            lines.append("        " + self.emit_instruction(instruction))
+        for label in sorted(labels_at.get(len(program.code), ())):
+            lines.append(f"{label}:")
+        return "\n".join(lines) + "\n"
+
+    def retarget(self, program: Program, name: Optional[str] = None) -> Program:
+        """Round-trip *program* through this ISA's assembly.
+
+        For the built-in frontends this is structurally the identity on the
+        instruction sequence and label table (the 1:1 invariant above); what
+        changes is the provenance — ``source_lines`` become this ISA's
+        assembly, so disassembly listings show the target ISA's spelling.
+        """
+        return self.translate(self.emit(program),
+                              name=name if name is not None else program.name)
+
+
+#: Registered frontends, keyed by :attr:`IsaFrontend.name`.
+ISA_FRONTENDS: Dict[str, IsaFrontend] = {}
+
+
+def register_frontend(frontend: IsaFrontend, replace: bool = False) -> IsaFrontend:
+    """Register *frontend* under its ``name``; returns it for chaining."""
+    if not frontend.name:
+        raise ValueError("frontend must have a non-empty name")
+    if frontend.name in ISA_FRONTENDS and not replace:
+        raise ValueError(f"ISA frontend {frontend.name!r} is already registered;"
+                         " pass replace=True to override")
+    ISA_FRONTENDS[frontend.name] = frontend
+    return frontend
+
+
+def _ensure_builtin_frontends() -> None:
+    # The built-in frontends live in repro.frontend, which imports repro.isa;
+    # importing it lazily here (rather than at module level) keeps the
+    # package import graph acyclic while still guaranteeing that the
+    # registry is populated before any lookup.
+    import repro.frontend  # noqa: F401
+
+
+def get_frontend(name: str) -> IsaFrontend:
+    """Look up a registered frontend, with a one-line error on unknowns."""
+    _ensure_builtin_frontends()
+    try:
+        return ISA_FRONTENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown ISA frontend {name!r};"
+                         f" registered: {sorted(ISA_FRONTENDS)}") from None
+
+
+def available_isas() -> Tuple[str, ...]:
+    """Names of all registered frontends, sorted."""
+    _ensure_builtin_frontends()
+    return tuple(sorted(ISA_FRONTENDS))
+
+
+def retarget_program(program: Program, isa: str,
+                     name: Optional[str] = None) -> Program:
+    """Convenience wrapper: ``get_frontend(isa).retarget(program, name)``."""
+    return get_frontend(isa).retarget(program, name=name)

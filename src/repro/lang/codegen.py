@@ -104,6 +104,9 @@ class CompiledProgram:
     functions: Dict[str, FunctionInfo]
     constants: Dict[str, int]
     source: str = ""
+    #: Name of the ISA frontend the program was retargeted through, if any
+    #: (see :func:`repro.lang.compiler.compile_source`'s ``isa=``).
+    isa: Optional[str] = None
 
     def global_address(self, name: str, index: int = 0) -> int:
         info = self.globals[name]

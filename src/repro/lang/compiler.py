@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from .codegen import CodeGenerator, CompiledProgram
@@ -11,7 +12,8 @@ from .peephole import peephole_compiled, peephole_enabled_by_env
 
 def compile_source(source: str, name: str = "minic",
                    entry_function: str = "main",
-                   peephole: Optional[bool] = None) -> CompiledProgram:
+                   peephole: Optional[bool] = None,
+                   isa: Optional[str] = None) -> CompiledProgram:
     """Compile minic *source* into a SymPLFIED program plus its data segment.
 
     *peephole* selects the conservative post-codegen cleanup pass
@@ -19,9 +21,17 @@ def compile_source(source: str, name: str = "minic",
     environment variable, which defaults to off — campaigns must stay
     byte-identical across the switch before it may be defaulted on.
 
+    *isa* retargets the compiled program through a registered
+    :class:`~repro.isa.registry.IsaFrontend` (``"mips"``, ``"rv32im"``, ...):
+    the program is emitted as that ISA's assembly and translated back, so its
+    provenance (source lines) is that ISA's while the instruction sequence,
+    labels and function map stay identical — every minic workload compiles
+    for every registered ISA.  Applied after the peephole pass.
+
     Raises :class:`~repro.lang.lexer.LexerError`,
     :class:`~repro.lang.parser.ParseError` or
-    :class:`~repro.lang.codegen.CompileError` on invalid input.
+    :class:`~repro.lang.codegen.CompileError` on invalid input, and
+    :class:`ValueError` for an unknown *isa*.
     """
     unit = parse_source(source)
     generator = CodeGenerator(unit, name=name, entry_function=entry_function)
@@ -31,4 +41,10 @@ def compile_source(source: str, name: str = "minic",
         peephole = peephole_enabled_by_env()
     if peephole:
         compiled, _stats = peephole_compiled(compiled)
+    if isa is not None:
+        from ..isa.registry import get_frontend
+
+        frontend = get_frontend(isa)
+        compiled = replace(compiled, program=frontend.retarget(compiled.program),
+                           isa=frontend.name)
     return compiled

@@ -153,6 +153,10 @@ class CampaignSpec:
     max_solutions_per_injection: int = 10
     max_states_per_injection: int = 50_000
     wall_clock_per_injection: Optional[float] = None
+    #: ISA frontend name the program was retargeted through (``None`` = the
+    #: native SymPLFIED build); plain metadata, so it pickles through chunks,
+    #: task payloads and broker manifests like ``fault_model`` does.
+    isa: Optional[str] = None
 
     @classmethod
     def from_campaign(cls, campaign: SymbolicCampaign) -> "CampaignSpec":
@@ -166,7 +170,8 @@ class CampaignSpec:
             execution_config=campaign.execution_config,
             max_solutions_per_injection=campaign.max_solutions_per_injection,
             max_states_per_injection=campaign.max_states_per_injection,
-            wall_clock_per_injection=campaign.wall_clock_per_injection)
+            wall_clock_per_injection=campaign.wall_clock_per_injection,
+            isa=campaign.isa)
 
     def build(self) -> SymbolicCampaign:
         return SymbolicCampaign(
@@ -179,4 +184,5 @@ class CampaignSpec:
             execution_config=self.execution_config,
             max_solutions_per_injection=self.max_solutions_per_injection,
             max_states_per_injection=self.max_states_per_injection,
-            wall_clock_per_injection=self.wall_clock_per_injection)
+            wall_clock_per_injection=self.wall_clock_per_injection,
+            isa=self.isa)

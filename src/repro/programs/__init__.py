@@ -1,6 +1,6 @@
 """Workloads evaluated in the paper plus small auxiliary kernels."""
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from .base import Workload
 from .factorial import (FACTORIAL_DETECTORS_SOURCE, FACTORIAL_SOURCE,
@@ -32,14 +32,22 @@ WORKLOADS: Dict[str, Callable[[], Workload]] = {
 }
 
 
-def load_workload(name: str) -> Workload:
-    """Build a workload from the registry by name."""
+def load_workload(name: str, isa: Optional[str] = None) -> Workload:
+    """Build a workload from the registry by name.
+
+    *isa* retargets the workload through a registered ISA frontend
+    (:func:`repro.isa.registry.get_frontend`); raises :class:`ValueError`
+    for unknown workload or frontend names.
+    """
     try:
         factory = WORKLOADS[name]
     except KeyError:
         raise ValueError(f"unknown workload {name!r}; available: "
                          f"{sorted(WORKLOADS)}") from None
-    return factory()
+    workload = factory()
+    if isa is not None:
+        workload = workload.retargeted(isa)
+    return workload
 
 
 __all__ = [

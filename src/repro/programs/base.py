@@ -8,7 +8,7 @@ golden runs and initial machine states.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..detectors import DetectorSet, EMPTY_DETECTORS
@@ -29,6 +29,9 @@ class Workload:
     default_input: Tuple[int, ...] = ()
     compiled: Optional[object] = None  # CompiledProgram when built by minic
     recommended_max_steps: int = 20_000
+    #: ISA frontend the program was retargeted through (``None`` = the native
+    #: SymPLFIED build).  Carried into campaigns, specs and checkpoint headers.
+    isa: Optional[str] = None
 
     def initial_state(self, input_values: Optional[Sequence[int]] = None
                       ) -> MachineState:
@@ -53,9 +56,23 @@ class Workload:
                 f"({state.exception})")
         return state.output_values()
 
+    def retargeted(self, isa: str) -> "Workload":
+        """This workload rebuilt through the named ISA frontend.
+
+        The program is round-tripped through the frontend's assembly; for the
+        built-in frontends the instruction sequence and label table are
+        structurally identical (injection addresses stay meaningful), only the
+        provenance changes.  Raises :class:`ValueError` for unknown names.
+        """
+        from ..isa.registry import get_frontend
+
+        frontend = get_frontend(isa)
+        return replace(self, program=frontend.retarget(self.program),
+                       isa=frontend.name)
+
     def campaign(self, kind: str = "err-output",
                  fault_model=None,
-                 error_category: str = "register",
+                 error_category: Optional[str] = None,
                  expected_value: Optional[int] = None,
                  execution_config=None,
                  **campaign_options):
@@ -64,7 +81,12 @@ class Workload:
         *fault_model* — a :class:`~repro.faults.models.FaultModel` or a
         registry name (``"register"``, ``"memory"``, ``"control"``,
         ``"operand"``) — plans the sweep through the pluggable fault
-        subsystem; without it the legacy *error_category* sweep is used.
+        subsystem.
+
+        .. deprecated:: passing *error_category* explicitly is deprecated;
+           the legacy category sweep is subsumed by the fault-model registry
+           (``fault_model="register"`` etc.).  Omitting both keeps the
+           historical register sweep.
         """
         from ..frontend.querygen import generate_campaign
 

@@ -217,7 +217,8 @@ def execute_entry(entry: Dict[str, object]) -> Dict[str, object]:
     from ..parallel.spec import CacheSpec, QuerySpec
     from ..programs import load_workload
 
-    workload = load_workload(str(entry["workload"]))
+    workload = load_workload(str(entry["workload"]),
+                             isa=entry.get("isa") or None)
     campaign, query = workload.campaign(
         kind=str(entry["query"]),
         fault_model=entry.get("fault_model"),
@@ -415,6 +416,8 @@ def _sweep_argv(args: argparse.Namespace) -> List[str]:
             "--workload", args.workload, "--query", args.query]
     if args.fault_model:
         argv += ["--fault-model", args.fault_model]
+    if getattr(args, "isa", None):
+        argv += ["--isa", args.isa]
     if args.sample is not None:
         argv += ["--sample", str(args.sample)]
     if args.seed is not None:
@@ -499,8 +502,9 @@ def run_expect_identical(args: argparse.Namespace) -> int:
     variants = [name.strip() for name in args.backends.split(",")
                 if name.strip()]
     scratch = tempfile.mkdtemp(prefix="repro-bench-eq-")
+    isa_note = f" isa={args.isa}" if getattr(args, "isa", None) else ""
     print(f"expect-identical: workload={args.workload} "
-          f"query={args.query} fault_model={args.fault_model} "
+          f"query={args.query} fault_model={args.fault_model}{isa_note} "
           f"variants={variants}", flush=True)
     baseline = normalize_output(
         _run_variant("serial", args, scratch, args.timeout))
@@ -556,6 +560,9 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         help="workload for --expect-identical")
     parser.add_argument("--fault-model", default=None,
                         help="fault model for --expect-identical")
+    parser.add_argument("--isa", default=None, metavar="NAME",
+                        help="ISA frontend for --expect-identical (retargets "
+                             "the workload, e.g. mips or rv32im)")
     parser.add_argument("--query", default="err-output",
                         help="query for --expect-identical")
     parser.add_argument("--sample", type=int, default=None,

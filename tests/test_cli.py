@@ -346,3 +346,79 @@ class TestResultsWarehouse:
         out = capsys.readouterr().out
         assert "sampled" in out
         assert "100000" not in out  # the printed count is the clamped one
+
+
+class TestIsaSelection:
+    def test_isa_line_printed_only_when_selected(self, capsys):
+        default = analyze_output(capsys)
+        assert "isa            :" not in default
+        retargeted = analyze_output(capsys, "--isa", "rv32im")
+        assert "isa            : rv32im" in retargeted
+
+    @pytest.mark.parametrize("isa", ["mips", "rv32im"])
+    def test_retargeted_campaign_matches_native_sweep(self, isa, capsys):
+        """Retargeting is structurally 1:1: apart from the extra header line
+        and source-line provenance (witnesses quote the target ISA's assembly
+        spelling), the campaign results must match the native build."""
+        def masked(output):
+            return [line if "source line" not in line
+                    else line.split("source line")[0]
+                    for line in normalized(output)
+                    if not line.startswith("isa")]
+        native = analyze_output(capsys)
+        retargeted = analyze_output(capsys, "--isa", isa)
+        assert masked(native) == masked(retargeted)
+
+    def test_rv32im_register_pool_matches_serial(self, capsys):
+        """The acceptance criterion: --isa rv32im --fault-model register is
+        byte-identical across the serial and pool backends."""
+        serial = analyze_output(capsys, "--isa", "rv32im",
+                                "--fault-model", "register")
+        pooled = analyze_output(capsys, "--isa", "rv32im",
+                                "--fault-model", "register",
+                                "--backend", "pool", "--workers", "2")
+        assert normalized(serial) == normalized(pooled)
+
+    def test_isa_applies_to_run_and_concrete(self, capsys):
+        assert main(["run", "--workload", "factorial", "--input", "4",
+                     "--isa", "rv32im"]) == 0
+        assert "24" in capsys.readouterr().out
+        assert main(["concrete", "--workload", "factorial",
+                     "--max-injections", "4", "--isa", "rv32im"]) == 0
+        capsys.readouterr()
+
+    def test_isa_retargets_translated_mips_sources(self, tmp_path, capsys):
+        path = tmp_path / "prog.s"
+        path.write_text("""
+        read $t0
+        addi $t1, $t0, 10
+        print $t1
+        halt
+        """)
+        assert main(["run", "--mips", str(path), "--input", "7",
+                     "--isa", "rv32im"]) == 0
+        assert "17" in capsys.readouterr().out
+
+
+class TestIsaAndFaultModelValidation:
+    def test_unknown_isa_is_one_line_error_listing_registered(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--workload", "factorial", "--isa", "z80"])
+        message = str(excinfo.value)
+        assert "unknown ISA frontend 'z80'" in message
+        assert "mips" in message and "rv32im" in message
+        assert "\n" not in message.strip()
+
+    def test_unknown_isa_rejected_for_run_too(self):
+        with pytest.raises(SystemExit, match="unknown ISA frontend"):
+            main(["run", "--workload", "factorial", "--isa", "z80"])
+
+    def test_unknown_fault_model_is_one_line_error_listing_registered(
+            self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--workload", "factorial",
+                  "--fault-model", "bitflip"])
+        message = str(excinfo.value)
+        assert "unknown fault model 'bitflip'" in message
+        assert "register" in message and "memory" in message
+        assert "\n" not in message.strip()

@@ -122,6 +122,9 @@ class TestQueryGenerator:
         assert generated.error_class_name == "fetch"
         assert "fetch" in generated.describe()
 
+    # Legacy-path regression: error_category= must keep working (it now
+    # warns; behaviour stays identical to the fault-model-free default).
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_generate_campaign_end_to_end(self):
         workload = sum_input_workload(count=2, values=(3, 4))
         campaign, query = generate_campaign(
@@ -130,6 +133,22 @@ class TestQueryGenerator:
         injections = campaign.enumerate_injections()[:5]
         result = campaign.run(query, injections=injections)
         assert result.injections_run == 5
+
+    def test_explicit_error_category_warns_but_plans_identically(self):
+        workload = sum_input_workload(count=2, values=(3, 4))
+        with pytest.deprecated_call():
+            legacy_campaign, _ = generate_campaign(
+                workload, kind="err-output", error_category="register")
+        default_campaign, _ = generate_campaign(workload, kind="err-output")
+        assert ([(i.breakpoint_pc, i.target) for i
+                 in legacy_campaign.enumerate_injections()]
+                == [(i.breakpoint_pc, i.target) for i
+                    in default_campaign.enumerate_injections()])
+
+    def test_workload_campaign_error_category_warns(self):
+        with pytest.deprecated_call():
+            factorial_workload().campaign(kind="err-output",
+                                          error_category="register")
 
     def test_generate_campaign_defaults_expected_value_from_golden_run(self):
         workload = factorial_workload()

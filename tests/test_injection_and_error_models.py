@@ -75,6 +75,9 @@ class TestRegistersUsedAt:
         assert registers_used_at(PROGRAM, 999) == ()
 
 
+# Legacy-path regression tests: the public helper now warns (steering
+# callers to repro.faults) but must keep planning the identical sweep.
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestInjectionPoints:
     def test_register_injection_points_follow_usage(self):
         injections = register_injection_points(PROGRAM)
@@ -125,6 +128,7 @@ class TestPrepareInjectedState:
 
 
 class TestErrorClasses:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_register_class_matches_helper(self):
         injections = RegisterFileError().enumerate(PROGRAM)
         helper = register_injection_points(PROGRAM)
@@ -177,3 +181,17 @@ class TestErrorClasses:
             assert isinstance(injections, list)
             for injection in injections:
                 assert 0 <= injection.breakpoint_pc <= len(workload.program)
+
+
+class TestInjectorDeprecation:
+    def test_register_injection_points_warns(self):
+        with pytest.deprecated_call():
+            register_injection_points(PROGRAM)
+
+    def test_deprecated_helper_matches_fault_registry_plan(self):
+        from repro.faults import FAULT_MODELS
+        with pytest.deprecated_call():
+            legacy = register_injection_points(PROGRAM)
+        planned = FAULT_MODELS["register"].enumerate(PROGRAM)
+        assert ([(i.breakpoint_pc, i.target) for i in legacy]
+                == [(i.breakpoint_pc, i.target) for i in planned])

@@ -1,0 +1,131 @@
+"""Tests for the pluggable ISA frontend registry (repro.isa.registry)."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.registry import (ISA_FRONTENDS, IsaAbi, IsaFrontend,
+                                available_isas, get_frontend,
+                                register_frontend, retarget_program)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert "mips" in available_isas()
+        assert "rv32im" in available_isas()
+
+    def test_get_frontend_returns_named_frontend(self):
+        for name in ("mips", "rv32im"):
+            frontend = get_frontend(name)
+            assert frontend.name == name
+            assert frontend.description
+
+    def test_unknown_name_is_one_line_error_listing_registered(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_frontend("z80")
+        message = str(excinfo.value)
+        assert "unknown ISA frontend 'z80'" in message
+        assert "mips" in message and "rv32im" in message
+        assert "\n" not in message
+
+    def test_duplicate_registration_rejected_without_replace(self):
+        frontend = get_frontend("mips")
+        with pytest.raises(ValueError, match="already registered"):
+            register_frontend(frontend)
+        # replace=True re-registers in place.
+        assert register_frontend(frontend, replace=True) is frontend
+        assert ISA_FRONTENDS["mips"] is frontend
+
+    def test_nameless_frontend_rejected(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            register_frontend(IsaFrontend())
+
+    def test_custom_frontend_registration_roundtrip(self):
+        class ToyFrontend(IsaFrontend):
+            name = "toy"
+            description = "test-only frontend"
+            registers = {"r0": 0}
+            abi = IsaAbi(stack_pointer="r29", return_address="r31",
+                         return_value="r2")
+
+            def translate(self, source, name="toy"):
+                return assemble(source, name=name)
+
+            def emit_instruction(self, instruction):
+                return instruction.render()
+
+        try:
+            register_frontend(ToyFrontend())
+            assert "toy" in available_isas()
+            program = assemble("li $1 7\nprint $1\nhalt\n")
+            assert get_frontend("toy").retarget(program).code == program.code
+        finally:
+            ISA_FRONTENDS.pop("toy", None)
+
+
+class TestAbiMetadata:
+    def test_mips_abi(self):
+        abi = get_frontend("mips").abi
+        assert abi.stack_pointer == "$sp"
+        assert abi.return_address == "$ra"
+        registers = get_frontend("mips").registers
+        assert registers["sp"] == 29 and registers["ra"] == 31
+
+    def test_rv32im_abi_maps_link_and_stack_onto_symplfied_slots(self):
+        frontend = get_frontend("rv32im")
+        assert frontend.abi.stack_pointer == "sp"
+        assert frontend.abi.return_address == "ra"
+        # ra (x1) must land on SymPLFIED's hardwired jal link register $31,
+        # sp (x2) on the minic stack pointer $29; the displaced registers
+        # take the freed slots so the map stays a bijection.
+        assert frontend.registers["ra"] == 31
+        assert frontend.registers["sp"] == 29
+        assert frontend.registers["t6"] == 1
+        assert frontend.registers["t4"] == 2
+        assert sorted(set(frontend.registers.values())) == list(range(32))
+
+
+SAMPLE = """
+        read $4
+        jal work
+        print $2
+        halt
+work:   setgt $6 $4 $5
+        beq $6 0 other
+        mov $2 $4
+        jr $31
+other:  subi $2 $4 1
+        sti $2 $29 0
+        ldi $3 $29 0
+        prints "done, "
+        throw "boom # not a comment"
+trail:
+"""
+
+
+class TestRetarget:
+    @pytest.mark.parametrize("isa", ["mips", "rv32im"])
+    def test_retarget_is_structural_identity(self, isa):
+        program = assemble(SAMPLE, name="sample")
+        retargeted = retarget_program(program, isa)
+        assert retargeted.code == program.code
+        assert retargeted.labels == program.labels
+        assert retargeted.name == "sample"
+
+    @pytest.mark.parametrize("isa", ["mips", "rv32im"])
+    def test_trailing_label_survives_emit(self, isa):
+        program = assemble(SAMPLE)
+        assert program.labels["trail"] == len(program.code)
+        emitted = get_frontend(isa).emit(program)
+        assert emitted.rstrip().endswith("trail:")
+
+    def test_emitted_assembly_uses_the_target_spelling(self):
+        program = assemble(SAMPLE)
+        mips = get_frontend("mips").emit(program)
+        riscv = get_frontend("rv32im").emit(program)
+        assert "$a0" in mips and "jr $ra" in mips
+        assert "$" not in riscv and "jr ra" in riscv and "beqz" in riscv
+
+    def test_retarget_rewrites_source_provenance(self):
+        program = assemble("mov $3 $1\nhalt\n")
+        retargeted = retarget_program(program, "rv32im")
+        assert retargeted.source_line(0) == "mv gp, t6"

@@ -1,0 +1,292 @@
+"""Tests for the RV32IM frontend (repro.frontend.riscv)."""
+
+import pytest
+
+from repro.frontend.riscv import (RISCV_REGISTERS, RiscvTranslationError,
+                                  translate_riscv)
+from repro.isa.registry import get_frontend
+from repro.machine import Status, initial_state, run_concrete
+
+
+def run_translated(source, input_values=()):
+    program = translate_riscv(source)
+    state = initial_state(input_values=input_values)
+    run_concrete(program, state, max_steps=10_000)
+    return program, state
+
+
+class TestRegisterNames:
+    def test_abi_and_numeric_spellings_agree(self):
+        assert RISCV_REGISTERS["a0"] == RISCV_REGISTERS["x10"] == 10
+        assert RISCV_REGISTERS["zero"] == RISCV_REGISTERS["x0"] == 0
+        assert RISCV_REGISTERS["fp"] == RISCV_REGISTERS["s0"] == 8
+
+    def test_link_and_stack_swaps(self):
+        assert RISCV_REGISTERS["ra"] == 31
+        assert RISCV_REGISTERS["sp"] == 29
+        assert RISCV_REGISTERS["t6"] == 1
+        assert RISCV_REGISTERS["t4"] == 2
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(RiscvTranslationError, match="unknown RISC-V"):
+            translate_riscv("mv q7, a0\n")
+
+
+class TestArithmetic:
+    def test_sum_loop_with_m_extension(self):
+        # 5 * 4 / 2 - 3 = 7, printed via the print pseudo-instruction.
+        _, state = run_translated("""
+            li   t0, 5
+            li   t1, 4
+            mul  t2, t0, t1
+            li   t3, 2
+            div  t2, t2, t3
+            addi t2, t2, -3
+            print t2
+            halt
+        """)
+        assert state.status is Status.HALTED
+        assert state.output_values() == (7,)
+
+    def test_rem_and_immediate_pseudo_forms(self):
+        _, state = run_translated("""
+            li   a0, 17
+            rem  a1, a0, 5      # 2
+            sub  a1, a1, 1      # RARS-style immediate form -> subi
+            mul  a1, a1, 10     # -> multi
+            print a1
+            halt
+        """)
+        assert state.output_values() == (10,)
+
+    def test_slt_family_and_logic(self):
+        _, state = run_translated("""
+            li   t0, 3
+            li   t1, 9
+            slt  t2, t0, t1
+            sgt  t3, t0, t1
+            seq  t4, t0, 3
+            and  t5, t2, t4
+            print t5
+            print t3
+            halt
+        """)
+        assert state.output_values() == (1, 0)
+
+
+class TestMemory:
+    def test_lw_sw_displacement(self):
+        _, state = run_translated("""
+            li   t0, 2000
+            li   t1, 42
+            sw   t1, 8(t0)
+            lw   t2, 8(t0)
+            print t2
+            halt
+        """)
+        assert state.output_values() == (42,)
+
+    def test_bad_displacement_rejected(self):
+        with pytest.raises(RiscvTranslationError, match="bad address operand"):
+            translate_riscv("lw t0, 8[t1]\n")
+
+
+class TestBranches:
+    def test_branch_pseudos_and_loop(self):
+        # sum 1..n for n read from input, via bgtz.
+        _, state = run_translated("""
+            read a0
+            li   a1, 0
+        loop:
+            add  a1, a1, a0
+            addi a0, a0, -1
+            bgtz a0, loop
+            print a1
+            halt
+        """, input_values=(5,))
+        assert state.output_values() == (15,)
+
+    def test_register_register_branch_expands_through_scratch(self):
+        program = translate_riscv("""
+            beq  a0, a1, same
+            nop
+        same:
+            halt
+        """)
+        opcodes = [instruction.opcode for instruction in program.code]
+        assert opcodes == ["seteq", "bne", "nop", "halt"]
+        # the compare lands in the $1 scratch slot (t6), like MIPS $at
+        assert program.code[0].operands[0] == 1
+
+    def test_beqz_bnez_stay_single_instruction(self):
+        program = translate_riscv("""
+            beqz a0, out
+            bnez a1, out
+        out:
+            halt
+        """)
+        assert [i.opcode for i in program.code] == ["beq", "bne", "halt"]
+
+
+class TestCalls:
+    def test_jal_ret_roundtrip(self):
+        _, state = run_translated("""
+        main:
+            li   a0, 7
+            jal  double
+            print a0
+            halt
+        double:
+            add  a0, a0, a0
+            ret
+        """)
+        assert state.output_values() == (14,)
+
+    def test_jal_links_through_symplfied_31(self):
+        program = translate_riscv("jal target\ntarget: halt\n")
+        assert program.code[0].opcode == "jal"
+        # implicit link register of SymPLFIED jal is $31 == ra
+        assert 31 in program.code[0].registers_written()
+
+    def test_jalr_non_linking_forms(self):
+        program = translate_riscv("""
+            jalr x0, t0, 0
+            jalr x0, 0(t1)
+            jr   t2
+            halt
+        """)
+        assert [i.opcode for i in program.code[:3]] == ["jr", "jr", "jr"]
+
+    def test_linking_jalr_rejected(self):
+        with pytest.raises(RiscvTranslationError, match="jalr"):
+            translate_riscv("jalr t0\n")
+        with pytest.raises(RiscvTranslationError, match="jalr"):
+            translate_riscv("jalr ra, t0, 0\n")
+
+
+class TestEcall:
+    def test_read_print_exit_services(self):
+        _, state = run_translated("""
+            li   a7, 5
+            ecall               # read into a0
+            li   t0, 3
+            mul  a0, a0, t0
+            li   a7, 1
+            ecall               # print a0
+            li   a7, 10
+            ecall               # exit
+        """, input_values=(6,))
+        assert state.status is Status.HALTED
+        assert state.output_values() == (18,)
+
+    def test_exit_93_is_accepted(self):
+        _, state = run_translated("li a7, 93\necall\n")
+        assert state.status is Status.HALTED
+
+    def test_bare_ecall_rejected(self):
+        with pytest.raises(RiscvTranslationError, match="ecall needs"):
+            translate_riscv("ecall\n")
+
+    def test_label_resets_pending_service(self):
+        # A jump may land at the label with any a7, so the convention
+        # conservatively requires the li after the label.
+        with pytest.raises(RiscvTranslationError, match="ecall needs"):
+            translate_riscv("""
+                li a7, 10
+            entry:
+                ecall
+            """)
+
+    def test_clobbered_a7_rejected(self):
+        with pytest.raises(RiscvTranslationError, match="ecall needs"):
+            translate_riscv("""
+                li  a7, 10
+                add a7, a7, a7
+                ecall
+            """)
+
+
+class TestPseudoInstructions:
+    def test_mv_neg_seqz_snez(self):
+        _, state = run_translated("""
+            li   t0, 5
+            mv   t1, t0
+            neg  t2, t1
+            seqz t3, t2
+            snez t4, t2
+            print t2
+            print t3
+            print t4
+            halt
+        """)
+        assert state.output_values() == (-5, 0, 1)
+
+    def test_symplfied_native_pseudos_pass_through(self):
+        program = translate_riscv("""
+            read a0
+            prints "value = "
+            print a0
+            check 1
+            throw "bad"
+            halt
+        """)
+        assert [i.opcode for i in program.code] == [
+            "read", "prints", "print", "check", "throw", "halt"]
+
+    def test_unsupported_instruction_reports_line(self):
+        with pytest.raises(RiscvTranslationError, match="line 2.*csrr"):
+            translate_riscv("nop\ncsrr t0, mstatus\n")
+
+    def test_register_shift_amount_rejected(self):
+        with pytest.raises(RiscvTranslationError, match="register shift"):
+            translate_riscv("sll t0, t1, t2\n")
+
+
+class TestLabelsAndSegments:
+    def test_labels_preserved_in_order(self):
+        program = translate_riscv("""
+        start:
+            li   t0, 1
+        middle:
+            addi t0, t0, 1
+        end:
+            halt
+        """)
+        assert program.labels == {"start": 0, "middle": 1, "end": 2}
+
+    def test_data_segment_skipped(self):
+        program = translate_riscv("""
+            .data
+        table: .word 1, 2, 3
+            .text
+            halt
+        """)
+        assert len(program.code) == 1
+        assert program.code[0].opcode == "halt"
+
+
+class TestEmit:
+    def test_emit_round_trips_every_opcode_family(self):
+        frontend = get_frontend("rv32im")
+        source = """
+            read a0
+            prints "go, go"
+            li   t0, 2000
+            sw   a0, 4(t0)
+            lw   a1, 4(t0)
+            mul  a2, a1, a1
+            rem  a3, a2, 7
+            sub  a3, a3, 1
+            slli a4, a3, 2
+            seq  a5, a4, 8
+            beqz a5, out
+            jal  out
+        out:
+            check 1
+            print a2
+            throw "boom"
+        """
+        program = frontend.translate(source)
+        again = frontend.translate(frontend.emit(program))
+        assert again.code == program.code
+        assert again.labels == program.labels
