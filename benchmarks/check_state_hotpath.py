@@ -70,6 +70,36 @@ def compare_means(baseline_means: dict, fresh_means: dict, tolerance: float,
     return failures
 
 
+def check_telemetry_overhead(config: dict, fresh_means: dict) -> list:
+    """Gate the telemetry-enabled stepping cost against its disabled twin.
+
+    Unlike the absolute-mean gates above, this compares two benchmarks
+    from the *same* fresh run (``benchmark`` vs ``reference``), so host
+    speed cancels out and the budget can be tight: an enabled hub must
+    cost at most ``budget_factor`` of the plain decoded stepping path.
+    """
+    if not config:
+        return []
+    name = config["benchmark"]
+    reference = config["reference"]
+    budget = float(config["budget_factor"])
+    mean = fresh_means.get(name)
+    reference_mean = fresh_means.get(reference)
+    print(f"telemetry-overhead gate (budget {budget:g}x of {reference}):")
+    if mean is None or reference_mean is None:
+        missing = name if mean is None else reference
+        print(f"  {missing}  MISSING from the fresh run")
+        return [f"{missing}: not measured (telemetry-overhead gate)"]
+    ratio = mean / reference_mean
+    verdict = "ok" if ratio <= budget else "REGRESSED"
+    print(f"  {name}  {mean * 1e6:9.3f}us vs {reference_mean * 1e6:.3f}us "
+          f"({ratio:5.3f}x, allowed <= {budget:g}x)  {verdict}")
+    if ratio > budget:
+        return [f"{name}: {ratio:.3f}x of {reference}, "
+                f"allowed <= {budget:g}x"]
+    return []
+
+
 def check(fresh_path: str, baseline_path: str) -> int:
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)["microbench_baseline"]
@@ -80,6 +110,8 @@ def check(fresh_path: str, baseline_path: str) -> int:
     baseline_means = {name: record["mean_seconds"]
                       for name, record in baseline["benchmarks"].items()}
     failures = compare_means(baseline_means, fresh, tolerance)
+    failures += check_telemetry_overhead(baseline.get("telemetry_overhead"),
+                                         fresh)
 
     if failures:
         print("\nFAIL: state hot-path timings regressed beyond tolerance:",

@@ -144,6 +144,53 @@ def test_symbolic_step_decoded_cost(benchmark, factorial_workload):
     assert not state.is_running
 
 
+@pytest.mark.benchmark(group="interp-hotpath")
+def test_symbolic_step_telemetry_enabled_cost(benchmark, factorial_workload):
+    """``Executor.step`` with an *enabled* telemetry hub wrapping each run.
+
+    Telemetry must be cheap even when on: instrumentation reads step
+    counters at search epilogues, never per instruction, so the only
+    per-run additions are one span and two counter updates.  The CI gate
+    (``telemetry_overhead`` in ``check_state_hotpath.py``) compares this
+    mean against ``test_symbolic_step_decoded_cost`` from the *same*
+    run — robust to host variance — and allows <= 3% overhead.
+    """
+    from repro import obs
+
+    class DiscardSink:
+        """Bounds the pending-event buffer without I/O in the timed loop."""
+
+        def write(self, event):
+            pass
+
+        def close(self):
+            pass
+
+    workload = factorial_workload
+    executor = Executor(workload.program, workload.detectors,
+                        ExecutionConfig(
+                            max_steps=workload.recommended_max_steps))
+    hub = obs.configure(sink=DiscardSink(), component="bench")
+
+    def golden_run():
+        with hub.span("search.solve"):
+            steps_before = executor.steps_executed
+            state = workload.initial_state()
+            while state.is_running:
+                [state] = executor.step(state)
+            hub.count("search.runs")
+            hub.count("executor.steps",
+                      executor.steps_executed - steps_before)
+        return state
+
+    try:
+        state = benchmark(golden_run)
+    finally:
+        obs.set_hub(obs.NullTelemetry())
+    assert not state.is_running
+    assert hub.counters["search.runs"] > 0
+
+
 def test_recorded_campaign_speedup_is_at_least_2x():
     """The committed before/after record must show the promised >=2x."""
     record = json.loads(BENCH_RECORD.read_text())

@@ -232,6 +232,14 @@ def _build_parser() -> argparse.ArgumentParser:
                               "in memory (query it with 'repro report')")
     analyze.add_argument("--progress", action="store_true",
                          help="report sweep progress on stderr")
+    analyze.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="record spans, events and metrics from the "
+                              "campaign (coordinator and workers) to this "
+                              "JSONL file; campaign stdout is unaffected")
+    analyze.add_argument("--telemetry-prometheus", default=None,
+                         metavar="PATH",
+                         help="additionally write the final merged metrics "
+                              "in Prometheus text exposition format")
 
     concrete = subparsers.add_parser(
         "concrete", help="concrete (SimpleScalar-style) fault-injection campaign")
@@ -254,6 +262,13 @@ def _build_parser() -> argparse.ArgumentParser:
     broker.add_argument("--connection-timeout", type=_positive_float,
                         default=600.0,
                         help="drop connections idle for this many seconds")
+    broker.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="record periodic broker.heartbeat events "
+                             "(queue depth, claims, op counts) to this "
+                             "JSONL file")
+    broker.add_argument("--heartbeat-seconds", type=_positive_float,
+                        default=5.0,
+                        help="interval between --telemetry heartbeat events")
 
     worker = subparsers.add_parser(
         "worker", help="standalone campaign worker: drain tasks from a "
@@ -274,17 +289,41 @@ def _build_parser() -> argparse.ArgumentParser:
                              "orphaned")
     worker.add_argument("--progress", action="store_true",
                         help="report completed tasks on stderr")
+    worker.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="record this worker's spans, events and metrics "
+                             "to a JSONL file (in addition to the snapshots "
+                             "shipped back to the coordinator)")
 
     report = subparsers.add_parser(
         "report", help="cross-campaign queries over a results warehouse "
                        "(outcome distributions, latent-err rates, "
                        "per-fault-model coverage)")
-    report.add_argument("--results", required=True, metavar="PATH",
+    report.add_argument("--results", default=None, metavar="PATH",
                         help="sqlite results store written by 'repro analyze "
                              "--results' or 'repro bench'")
     report.add_argument("--campaign", type=int, default=None,
                         help="report a single campaign id "
                              "(default: whole-warehouse summary)")
+    report.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="summarise a telemetry JSONL event log "
+                             "(span timings, counters, per-worker "
+                             "throughput, lease health)")
+
+    top = subparsers.add_parser(
+        "top", help="live ops view of a running 'repro broker': queue "
+                    "depth, claims, op rates and lease expiries")
+    top.add_argument("--queue", required=True,
+                     help="tcp://HOST:PORT of a running 'repro broker'")
+    top.add_argument("--interval", type=_positive_float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=_positive_int, default=None,
+                     help="exit after this many refreshes "
+                          "(default: run until interrupted)")
+    top.add_argument("--once", action="store_true",
+                     help="print a single status frame and exit")
+    top.add_argument("--prometheus", action="store_true",
+                     help="emit Prometheus text format instead of the "
+                          "human-readable frame")
 
     from .results.bench import add_bench_arguments
     bench = subparsers.add_parser(
@@ -429,6 +468,20 @@ def _command_analyze(args: argparse.Namespace) -> int:
         # Mirror validate_queue_locator: one readable line, no traceback.
         raise SystemExit(str(exc)) from None
 
+    # Telemetry is configured before the campaign is built so every span —
+    # including campaign.run itself — lands under one trace, and the trace
+    # context is captured into the specs shipped to workers.  All telemetry
+    # notices go to stderr: campaign stdout must stay byte-identical with
+    # and without --telemetry.
+    telemetry_on = (args.telemetry is not None
+                    or args.telemetry_prometheus is not None)
+    if telemetry_on:
+        from . import obs as _obs
+        from .obs import JsonlEventSink
+        sink = (JsonlEventSink(args.telemetry)
+                if args.telemetry is not None else None)
+        _obs.configure(sink=sink, component="coordinator")
+
     campaign = SymbolicCampaign(
         workload.program,
         input_values=workload.default_input,
@@ -532,6 +585,19 @@ def _command_analyze(args: argparse.Namespace) -> int:
               "injections: the program is resilient (within the search bounds).")
     if store is not None:
         store.close()
+    if telemetry_on:
+        from . import obs as _obs
+        if args.telemetry_prometheus is not None:
+            from .obs import render_hub
+            with open(args.telemetry_prometheus, "w",
+                      encoding="utf-8") as handle:
+                handle.write(render_hub(_obs.get()))
+        _obs.finalize()
+        if args.telemetry is not None:
+            print(f"telemetry: {args.telemetry}", file=sys.stderr)
+        if args.telemetry_prometheus is not None:
+            print(f"telemetry (prometheus): {args.telemetry_prometheus}",
+                  file=sys.stderr)
     return 0
 
 
@@ -566,6 +632,7 @@ def _command_concrete(args: argparse.Namespace) -> int:
 
 def _command_broker(args: argparse.Namespace) -> int:
     import signal
+    import threading
 
     from .net import BrokerServer, parse_listen_address
 
@@ -580,9 +647,44 @@ def _command_broker(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGTERM, lambda signum, frame: server.request_stop())
     signal.signal(signal.SIGINT, lambda signum, frame: server.request_stop())
     print(f"broker listening on {server.url}", flush=True)
+
+    heartbeat_stop = threading.Event()
+    heartbeat_thread = None
+    if args.telemetry is not None:
+        from . import obs as _obs
+        from .obs import JsonlEventSink
+        hub = _obs.configure(sink=JsonlEventSink(args.telemetry),
+                             component="broker")
+
+        def emit_heartbeat() -> None:
+            stats = server.stats_snapshot()
+            for key in ("pending", "claimed", "results", "total"):
+                if stats[key] is not None:  # total is None pre-manifest
+                    hub.gauge(f"broker.{key}", stats[key])
+            hub.event("broker.heartbeat", pending=stats["pending"],
+                      claimed=stats["claimed"], results=stats["results"],
+                      total=stats["total"],
+                      uptime_seconds=stats["uptime_seconds"],
+                      ops=stats["ops"], leases=len(stats["leases"]))
+
+        def heartbeat_loop() -> None:
+            emit_heartbeat()  # one immediately, so short runs still record
+            while not heartbeat_stop.wait(args.heartbeat_seconds):
+                emit_heartbeat()
+
+        heartbeat_thread = threading.Thread(target=heartbeat_loop,
+                                            daemon=True,
+                                            name="broker-heartbeat")
+        heartbeat_thread.start()
     try:
         server.serve_forever()
     finally:
+        heartbeat_stop.set()
+        if heartbeat_thread is not None:
+            heartbeat_thread.join(timeout=2.0)
+            from . import obs as _obs
+            emit_heartbeat()  # final queue-depth gauges for the metrics record
+            _obs.finalize()
         server.close()
     print("broker stopped")
     return 0
@@ -612,6 +714,15 @@ def _command_worker(args: argparse.Namespace) -> int:
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
 
+    if args.telemetry is not None:
+        import os
+
+        from . import obs as _obs
+        from .obs import JsonlEventSink
+        # run_worker replaces the hub when it initialises the campaign
+        # context, but captures and re-attaches this sink (see run_worker).
+        _obs.configure(sink=JsonlEventSink(args.telemetry),
+                       component=f"worker-{os.getpid()}")
     try:
         executed = run_worker(config, on_task=report_task,
                               should_stop=stop.is_set)
@@ -619,6 +730,10 @@ def _command_worker(args: argparse.Namespace) -> int:
         # No manifest in time, or a tcp:// broker that stayed unreachable
         # through the client's retries: a clean message, not a traceback.
         raise SystemExit(f"worker gave up: {exc}") from exc
+    finally:
+        if args.telemetry is not None:
+            from . import obs as _obs
+            _obs.finalize()
     if stop.is_set():
         print(f"worker stopped on SIGTERM: {executed} tasks executed")
     else:
@@ -628,6 +743,20 @@ def _command_worker(args: argparse.Namespace) -> int:
 
 def _command_report(args: argparse.Namespace) -> int:
     import os
+
+    if args.results is None and args.telemetry is None:
+        raise SystemExit("repro report needs --results PATH and/or "
+                         "--telemetry PATH")
+    if args.telemetry is not None:
+        from .obs import read_events
+        from .obs.report import format_telemetry_report
+        if not os.path.exists(args.telemetry):
+            raise SystemExit(f"telemetry log not found: {args.telemetry}")
+        print(format_telemetry_report(read_events(args.telemetry)))
+        if args.results is not None:
+            print()
+    if args.results is None:
+        return 0
 
     from .results import SqliteResultStore, format_report
 
@@ -641,6 +770,17 @@ def _command_report(args: argparse.Namespace) -> int:
     finally:
         store.close()
     return 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_top
+
+    if not args.queue.startswith("tcp://"):
+        raise SystemExit("repro top needs --queue tcp://HOST:PORT (the live "
+                         "view polls a running 'repro broker')")
+    return run_top(args.queue, interval=args.interval,
+                   iterations=args.iterations, once=args.once,
+                   prometheus=args.prometheus)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -657,6 +797,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_worker(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "top":
+        return _command_top(args)
     if args.command == "bench":
         from .results.bench import run_bench
         return run_bench(args)

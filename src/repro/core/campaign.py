@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs as _obs
 from ..detectors import DetectorSet, EMPTY_DETECTORS
 from ..errors.injector import Injection, prepare_injected_state
 from ..errors.models import ErrorClass, RegisterFileError
@@ -263,6 +264,16 @@ class SymbolicCampaign:
         A :class:`~repro.faults.spec.FaultSpec` carries its own corruption
         value; a plain :class:`Injection` injects the symbolic ``ERR``.
         """
+        hub = _obs.get()
+        if hub.enabled:
+            # Dual path so the disabled sweep never pays for the label.
+            with hub.span("search.solve", injection=injection.label()):
+                return self._run_injection(injection, query, result_cache)
+        return self._run_injection(injection, query, result_cache)
+
+    def _run_injection(self, injection: Injection, query: SearchQuery,
+                       result_cache: Optional[SearchResultCache] = None,
+                       ) -> InjectionResult:
         injected = prepare_injected_state(
             self.program, injection, self.fresh_initial_state(),
             value=getattr(injection, "value", ERR),
@@ -294,7 +305,11 @@ class SymbolicCampaign:
             injections = self.enumerate_injections()
         if strategy is None:
             strategy = SerialExecutionStrategy()
-        results = strategy.run(self, injections, query, progress=progress)
+        with _obs.get().span("campaign.run", program=self.program.name,
+                             strategy=strategy.name,
+                             injections=len(injections)):
+            results = strategy.run(self, injections, query,
+                                   progress=progress)
         campaign = strategy.make_campaign_result(query, results)
         campaign.elapsed_seconds = time.monotonic() - campaign_start
         return campaign

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from .. import obs as _obs
 from ..machine.executor import Executor, run_concrete
 from ..machine.state import Fingerprint, MachineState, state_contains_err
 from .queries import SearchQuery
@@ -245,6 +246,7 @@ class BoundedModelChecker:
         resilient to the injected error class, per the paper's output #1).
         """
         start_time = time.monotonic()
+        steps_before = getattr(self.executor, "steps_executed", 0)
         statistics = SearchStatistics()
         solutions: List[Solution] = []
         frontier: deque = deque()
@@ -303,6 +305,18 @@ class BoundedModelChecker:
                 frontier.append((successor, depth + 1))
 
         statistics.elapsed_seconds = time.monotonic() - start_time
+        hub = _obs.get()
+        if hub.enabled:
+            # Epilogue publication: one batch of counter updates per search,
+            # never per state — the hot loop stays untelemetered.
+            hub.count("search.runs")
+            hub.count("search.explored", statistics.explored_states)
+            hub.count("search.terminal", statistics.terminal_states)
+            hub.count("search.deduplicated", statistics.deduplicated_states)
+            hub.observe("search.seconds", statistics.elapsed_seconds)
+            steps = getattr(self.executor, "steps_executed", None)
+            if steps is not None:
+                hub.count("executor.steps", steps - steps_before)
         return SearchResult(solutions=solutions, statistics=statistics,
                             completed=completed, stop_reason=stop_reason)
 
@@ -318,8 +332,13 @@ class BoundedModelChecker:
         key = self.result_cache.make_key(self.executor, initial_state, query,
                                          self._caps_key())
         cached = self.result_cache.get(key)
+        hub = _obs.get()
         if cached is not None:
+            if hub.enabled:
+                hub.count("cache.hits")
             return cached
+        if hub.enabled:
+            hub.count("cache.misses")
         result = self.search([initial_state], query)
         self.result_cache.store(key, result)
         return result

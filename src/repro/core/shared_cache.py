@@ -32,6 +32,7 @@ import pickle
 import sqlite3
 from typing import Dict, Optional, Tuple
 
+from .. import obs as _obs
 from ..machine.executor import Executor
 from ..machine.state import MachineState
 from .queries import SearchQuery
@@ -90,10 +91,15 @@ class SharedSearchResultCache:
         row = self._connection.execute(
             "SELECT result FROM search_results WHERE key = ?",
             (key,)).fetchone()
+        hub = _obs.get()
         if row is None:
             self.statistics.misses += 1
+            if hub.enabled:
+                hub.count("shared_cache.misses")
             return None
         self.statistics.hits += 1
+        if hub.enabled:
+            hub.count("shared_cache.hits")
         return pickle.loads(row[0])
 
     def store(self, key: bytes, result: SearchResult) -> None:
@@ -103,6 +109,9 @@ class SharedSearchResultCache:
             (key, payload))
         self._connection.commit()
         self.statistics.stores += 1
+        hub = _obs.get()
+        if hub.enabled:
+            hub.count("shared_cache.stores")
 
     def __len__(self) -> int:
         row = self._connection.execute(

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from .. import obs as _obs
 from ..errors.injector import Injection
 from .campaign import (ExecutionStrategy, InjectionResult, ProgressCallback,
                        SymbolicCampaign)
@@ -347,6 +348,13 @@ class TaskRunner:
     def run_task(self, task: SearchTask, query: SearchQuery,
                  result_cache: Optional[SearchResultCache] = None) -> TaskResult:
         """Run one task: sweep its injections until a cap is hit."""
+        with _obs.get().span("task.run", task=task.identifier,
+                             injections=len(task.injections)):
+            return self._run_task(task, query, result_cache)
+
+    def _run_task(self, task: SearchTask, query: SearchQuery,
+                  result_cache: Optional[SearchResultCache] = None,
+                  ) -> TaskResult:
         start = time.monotonic()
         result = TaskResult(task=task)
         for injection in task.injections:

@@ -15,12 +15,20 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from .. import obs as _obs
+
 
 class Backoff:
-    """Exponentially growing sleep between polls, reset on activity."""
+    """Exponentially growing sleep between polls, reset on activity.
+
+    *metric* names the loop for telemetry: each sleep counts one
+    ``<metric>.waits`` and ``<metric>.wait_seconds`` on the hub, so a
+    starved queue (lots of idle waiting) is distinguishable from a hung
+    worker (no signal at all) in the campaign's event log.
+    """
 
     def __init__(self, initial: float, cap: Optional[float] = None,
-                 factor: float = 2.0) -> None:
+                 factor: float = 2.0, metric: Optional[str] = None) -> None:
         if initial <= 0:
             raise ValueError(f"initial must be positive, got {initial}")
         if factor < 1.0:
@@ -32,6 +40,7 @@ class Backoff:
         self.initial = initial
         self.factor = factor
         self.current = initial
+        self.metric = metric
 
     def reset(self) -> None:
         """There was work: next idle sleep starts from the base again."""
@@ -46,4 +55,9 @@ class Backoff:
         interval = self.current
         time.sleep(interval)
         self.current = min(self.cap, self.current * self.factor)
+        if self.metric is not None:
+            hub = _obs.get()
+            if hub.enabled:
+                hub.count(f"{self.metric}.waits")
+                hub.count(f"{self.metric}.wait_seconds", interval)
         return interval

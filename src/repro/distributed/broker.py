@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs as _obs
 from ..parallel.spec import CacheSpec, CampaignSpec, QuerySpec, TaskSpec
 
 _TASK_PREFIX = "task-"
@@ -271,6 +272,10 @@ class FilesystemBroker(Broker):
             except FileNotFoundError:
                 continue
             requeued.append(index)
+        if requeued:
+            hub = _obs.get()
+            if hub.enabled:
+                hub.count("broker.requeued", len(requeued))
         return requeued
 
     # ------------------------------------------------------------- worker side
@@ -342,6 +347,9 @@ class FilesystemBroker(Broker):
                 except FileNotFoundError:  # pragma: no cover - racing twin
                     pass
                 continue
+            hub = _obs.get()
+            if hub.enabled:
+                hub.count("broker.claims")
             return ClaimedTask(index=index, payload=payload,
                                claim_path=claim_path)
         return None
@@ -349,6 +357,9 @@ class FilesystemBroker(Broker):
     def renew_lease(self, claim: ClaimedTask) -> None:
         try:
             os.utime(claim.claim_path)
+            hub = _obs.get()
+            if hub.enabled:
+                hub.count("broker.lease_renewals")
         except FileNotFoundError:
             pass  # lease expired and was requeued; completion is still safe
 
@@ -368,6 +379,9 @@ class FilesystemBroker(Broker):
             os.remove(claim.claim_path)
         except FileNotFoundError:
             pass
+        hub = _obs.get()
+        if hub.enabled:
+            hub.count("broker.completes")
 
     # ----------------------------------------------------------------- queries
 

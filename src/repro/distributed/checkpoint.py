@@ -20,6 +20,7 @@ import hashlib
 import pickle
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs as _obs
 from ..core.campaign import (ExecutionStrategy, InjectionResult,
                              ProgressCallback, SymbolicCampaign)
 from ..core.queries import SearchQuery
@@ -28,6 +29,7 @@ from .journal import RecordJournal
 
 _HEADER = "header"
 _RESULT = "result"
+_TELEMETRY = "telemetry"
 
 
 def injection_key(injection: Injection) -> str:
@@ -76,6 +78,8 @@ class CheckpointJournal:
         self._journal = RecordJournal(path)
         #: Whether an intact header record was seen by load_completed().
         self._header_loaded = False
+        #: Trace id journaled by a telemetry-enabled run (None otherwise).
+        self.journaled_trace: Optional[str] = None
 
     def exists(self) -> bool:
         return self._journal.exists()
@@ -102,6 +106,8 @@ class CheckpointJournal:
                         f"current campaign {expect_header!r}")
             elif tag == _RESULT:
                 completed[record[1]] = record[2]
+            elif tag == _TELEMETRY:
+                self.journaled_trace = record[1]
         self._header_loaded = header is not None
         return completed
 
@@ -117,6 +123,18 @@ class CheckpointJournal:
         if not self._header_loaded:
             self._journal.append((_HEADER, header))
             self._header_loaded = True
+
+    def ensure_trace(self, trace_id: str) -> None:
+        """Persist the campaign's trace id once, as its own record.
+
+        The identity header is compared with strict equality on resume, so
+        the trace rides a separate ``telemetry`` record: telemetry-off runs
+        write no such record and their journal bytes are unchanged, while a
+        resumed telemetry run finds the original trace here and joins it.
+        """
+        if self.journaled_trace is None:
+            self._journal.append((_TELEMETRY, trace_id))
+            self.journaled_trace = trace_id
 
     def append_result(self, injection: Injection,
                       result: InjectionResult) -> None:
@@ -157,6 +175,14 @@ class CheckpointingStrategy(ExecutionStrategy):
                    if injection_key(injection) not in completed]
         self.skipped = len(injections) - len(pending)
         journal.ensure_header(header)
+        hub = _obs.get()
+        if hub.enabled:
+            # Resume under the original run's trace so both halves of the
+            # sweep share one trace id in the event log; first runs journal
+            # theirs for any future resume.
+            if journal.journaled_trace is not None:
+                hub.adopt_trace(journal.journaled_trace)
+            journal.ensure_trace(hub.trace_id)
 
         previous_sink = self.inner.result_sink
 

@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import obs as _obs
 from ..core.campaign import (CampaignResult, ExecutionStrategy,
                              InjectionResult, ProgressCallback,
                              SymbolicCampaign)
@@ -54,7 +55,8 @@ from ..errors.injector import Injection
 from ..parallel.runner import _check_query_consistency, _merge_cache_statistics
 from ..parallel.spec import CacheSpec, CampaignSpec, QuerySpec, TaskSpec
 from .backoff import Backoff
-from .broker import CampaignManifest, enqueue_campaign, open_broker
+from .broker import (CampaignManifest, FilesystemBroker, enqueue_campaign,
+                     open_broker)
 
 
 def note_worker_snapshot(worker_stats: Dict[str, CacheStatistics],
@@ -272,15 +274,17 @@ class _BrokerCoordinator:
         broker.reset()
         # Manifest and full task set are durable before any worker starts, so
         # workers never observe a half-published campaign.
-        enqueue_campaign(
-            broker,
-            CampaignManifest(
-                campaign_spec=CampaignSpec.from_campaign(campaign),
-                query_spec=query_spec,
-                cache_spec=config.cache,
-                campaign_id=campaign_id,
-                task_spec=task_spec),
-            list(enumerate(payloads)))
+        with _obs.get().span("broker.publish", campaign=campaign_id,
+                             tasks=len(payloads)):
+            enqueue_campaign(
+                broker,
+                CampaignManifest(
+                    campaign_spec=CampaignSpec.from_campaign(campaign),
+                    query_spec=query_spec,
+                    cache_spec=config.cache,
+                    campaign_id=campaign_id,
+                    task_spec=task_spec),
+                list(enumerate(payloads)))
 
         pool: Optional[_LocalWorkerPool] = None
         if config.workers > 0:
@@ -290,7 +294,7 @@ class _BrokerCoordinator:
         merged: Dict[int, object] = {}
         deadline = (None if config.wall_clock_timeout is None
                     else time.monotonic() + config.wall_clock_timeout)
-        idle = Backoff(config.poll_interval)
+        idle = Backoff(config.poll_interval, metric="coordinator.idle")
         try:
             while len(merged) < len(payloads):
                 fresh = broker.fetch_new_results(seen=set(merged))
@@ -307,14 +311,25 @@ class _BrokerCoordinator:
                         continue
                     assert result_index == index
                     merged[index] = body if self.retain_results else None
-                    worker_name, stats = snapshot
+                    worker_name, stats, telemetry = snapshot
                     note_worker_snapshot(self.worker_stats, worker_name, stats)
+                    _obs.get().absorb(telemetry)
                     if on_merged is not None:
                         on_merged(index, body)
                 if fresh:
                     idle.reset()
                     continue  # drain eagerly before sleeping again
-                self.requeued_tasks.extend(broker.requeue_expired())
+                requeued = broker.requeue_expired()
+                if requeued:
+                    self.requeued_tasks.extend(requeued)
+                    hub = _obs.get()
+                    if hub.enabled:
+                        hub.event("broker.requeue", tasks=requeued)
+                        if not isinstance(broker, FilesystemBroker):
+                            # The filesystem broker counts its own requeues
+                            # in-process; a remote (TCP) broker's happen
+                            # server-side, so account for them here.
+                            hub.count("broker.requeued", len(requeued))
                 if pool is not None:
                     pool.reap_and_respawn()
                     if (pool.alive_count() == 0 and len(merged) < len(payloads)

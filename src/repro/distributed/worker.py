@@ -25,13 +25,16 @@ a lease until expiry.
 from __future__ import annotations
 
 import contextlib
+import json
 import multiprocessing
 import os
+import sys
 import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
+from .. import obs as _obs
 from ..core.tasks import SearchTask
 from ..parallel.worker import (initialize_worker, run_injection_chunk,
                                run_search_task)
@@ -94,7 +97,7 @@ def _await_manifest(broker: Broker, config: WorkerConfig,
     """
     deadline = (None if config.manifest_timeout is None
                 else time.monotonic() + config.manifest_timeout)
-    wait = Backoff(config.poll_interval)
+    wait = Backoff(config.poll_interval, metric="worker.manifest_wait")
     while not stopping():
         try:
             return broker.load_manifest(timeout=0)
@@ -120,6 +123,33 @@ def _execute(claim: ClaimedTask):
     return run_injection_chunk((claim.index, claim.payload))
 
 
+def _crash_cleanup(broker: Broker, claim: ClaimedTask,
+                   exc: BaseException) -> None:
+    """Crash-path cleanup: hand the claim back, log a structured event.
+
+    Without this, only a SIGTERM releases claims — an unhandled exception
+    would strand the lease until expiry and leave no trace of why.
+    """
+    released = False
+    try:
+        broker.release(claim)
+        released = True
+    except Exception:
+        pass  # the broker may be the thing that just failed
+    record = {
+        "event": "worker.crash",
+        "task": claim.index,
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "claim_released": released,
+        "pid": os.getpid(),
+    }
+    _obs.get().event("worker.crash", index=claim.index,
+                     error=type(exc).__name__, message=str(exc),
+                     released=released)
+    print(json.dumps(record, sort_keys=True), file=sys.stderr)
+
+
 def run_worker(config: WorkerConfig,
                on_task: Optional[Callable[[int, int], None]] = None,
                should_stop: Optional[Callable[[], bool]] = None) -> int:
@@ -137,6 +167,10 @@ def run_worker(config: WorkerConfig,
     # pool's snapshot machinery keys counters by process name).
     multiprocessing.current_process().name = f"repro-worker-{os.getpid()}"
     stopping = should_stop or (lambda: False)
+    # The CLI may have attached its own --telemetry sink before calling us;
+    # worker initialisation replaces the hub (see activate_worker), so the
+    # sink is captured here and re-attached after every (re)initialisation.
+    own_sink = getattr(_obs.get(), "sink", None)
     broker = open_broker(config.queue_dir,
                          lease_seconds=config.lease_seconds)
     manifest = _await_manifest(broker, config, stopping)
@@ -150,6 +184,8 @@ def run_worker(config: WorkerConfig,
                           wall_clock_per_task=manifest.task_spec
                           .wall_clock_per_task,
                           cache_spec=manifest.cache_spec)
+        if own_sink is not None:
+            _obs.attach_sink(own_sink)
 
     initialize(manifest)
 
@@ -158,7 +194,7 @@ def run_worker(config: WorkerConfig,
 
     executed = 0
     idle_since = time.monotonic()
-    idle = Backoff(config.poll_interval)
+    idle = Backoff(config.poll_interval, metric="worker.idle")
     # Only a drain this worker saw happen is an exit signal.  A queue that
     # is *already* drained at attach time is a previous campaign's leftover
     # state (brokers serve one campaign at a time, and the next coordinator
@@ -167,7 +203,16 @@ def run_worker(config: WorkerConfig,
     # ``max_idle_seconds`` like any other idle wait.
     saw_live_queue = False
     while not stopping():
+        claim_started = time.monotonic()
         claim = broker.claim_next(result_valid=result_is_ours)
+        hub = _obs.get()
+        if hub.enabled:
+            if claim is not None:
+                hub.timed_event("broker.claim",
+                                time.monotonic() - claim_started,
+                                index=claim.index)
+            else:
+                hub.count("broker.claim.empty")
         if claim is None:
             if broker.is_drained():
                 if saw_live_queue:
@@ -204,12 +249,19 @@ def run_worker(config: WorkerConfig,
         if current.campaign_id != manifest.campaign_id:
             manifest = current
             initialize(manifest)
-        with _lease_renewal(broker, claim, config.lease_seconds):
-            index, body, snapshot = _execute(claim)
-        # Results are tagged with the manifest's campaign id so a
-        # coordinator reusing this queue directory can reject stragglers
-        # from a previous campaign.
-        broker.complete(claim, (manifest.campaign_id, index, body, snapshot))
+        try:
+            with _lease_renewal(broker, claim, config.lease_seconds):
+                with _obs.get().span("worker.unit", index=claim.index):
+                    index, body, snapshot = _execute(claim)
+            # Results are tagged with the manifest's campaign id so a
+            # coordinator reusing this queue directory can reject
+            # stragglers from a previous campaign.
+            with _obs.get().span("broker.complete", index=claim.index):
+                broker.complete(claim, (manifest.campaign_id, index, body,
+                                        snapshot))
+        except BaseException as exc:
+            _crash_cleanup(broker, claim, exc)
+            raise
         executed += 1
         if on_task is not None:
             size = len(body) if isinstance(body, list) else len(body.results)

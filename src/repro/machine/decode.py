@@ -43,6 +43,7 @@ from __future__ import annotations
 import weakref
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs as _obs
 from ..constraints import ComparisonOp
 from ..detectors import execute_detector
 from ..errors.propagation import (IMMEDIATE_ALIASES, _CONCRETE_OPS,
@@ -422,6 +423,10 @@ class DecodedProgram:
         for start, end in blocks:
             self.block_fns[start] = namespace[f"_blk{start}"]
             self.block_lens[start] = end - start
+        hub = _obs.get()
+        if hub.enabled:
+            hub.count("interp.programs_decoded")
+            hub.count("interp.superblocks_compiled", len(blocks))
 
     def _plan_superblocks(self) -> List[Tuple[int, int]]:
         """Choose ``[start, end)`` ranges of fused straight-line code.

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs as _obs
 from ..constraints import ComparisonOp, Location
 from ..detectors import DetectorSet, EMPTY_DETECTORS, execute_detector
 from ..errors.comparison import resolve_comparison
@@ -135,6 +136,9 @@ class Executor:
         self.program = program
         self.detectors = detectors
         self.config = config or ExecutionConfig()
+        #: Lifetime count of symbolic steps; a plain int so the hot loop
+        #: pays one increment — telemetry reads deltas at search epilogues.
+        self.steps_executed = 0
         self._decoded: DecodedProgram = decoded_program(program)
         if self.config.legacy_dispatch:
             self._dispatch = None
@@ -163,6 +167,7 @@ class Executor:
         """Execute one instruction, returning every feasible successor state."""
         if not state.is_running:
             raise MachineModelError("cannot step a terminated state")
+        self.steps_executed += 1
 
         if state.steps >= self.config.max_steps:
             timed_out = state.copy()
@@ -824,22 +829,32 @@ def run_concrete(program: Program, state: MachineState,
     block_fns = decoded.block_fns
     block_lens = decoded.block_lens
     length = decoded.length
-    while state.is_running:
-        steps = state.steps
-        if steps >= max_steps:
-            state.time_out(TIMED_OUT)
-            break
-        pc = state.pc
-        if type(pc) is int and 0 <= pc < length:
-            block = block_fns[pc]
-            if block is not None and steps + block_lens[pc] <= max_steps:
-                block(state)
+    steps_at_entry = state.steps
+    block_runs = 0  # local counter: the loop itself stays untelemetered
+    try:
+        while state.is_running:
+            steps = state.steps
+            if steps >= max_steps:
+                state.time_out(TIMED_OUT)
+                break
+            pc = state.pc
+            if type(pc) is int and 0 <= pc < length:
+                block = block_fns[pc]
+                if block is not None and steps + block_lens[pc] <= max_steps:
+                    block(state)
+                    block_runs += 1
+                else:
+                    ops[pc](state, detectors)
+            elif pc is ERR:
+                raise SymbolicValueEncountered("PC is err")
             else:
-                ops[pc](state, detectors)
-        elif pc is ERR:
-            raise SymbolicValueEncountered("PC is err")
-        else:
-            state.throw(ILLEGAL_INSTRUCTION)
+                state.throw(ILLEGAL_INSTRUCTION)
+    finally:
+        hub = _obs.get()
+        if hub.enabled:
+            hub.count("interp.steps", state.steps - steps_at_entry)
+            if block_runs:
+                hub.count("interp.superblock_runs", block_runs)
     return state
 
 

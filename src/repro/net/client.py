@@ -22,6 +22,7 @@ import socket
 import time
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs as _obs
 from ..distributed.broker import Broker, CampaignManifest, ClaimedTask
 from .framing import (ProtocolError, TruncatedFrame, recv_message,
                       send_message)
@@ -100,6 +101,8 @@ class SocketBroker(Broker):
         broker's startup (or rides out its restart) attaches as soon as the
         port listens instead of dying on the first refused connection.
         """
+        hub = _obs.get()
+        started = time.monotonic() if hub.enabled else 0.0
         last_error: Optional[Exception] = None
         for attempt in range(self.connect_retries + 1):
             if attempt:
@@ -130,6 +133,11 @@ class SocketBroker(Broker):
             if "error" in response:
                 raise BrokerOperationError(
                     f"broker rejected {header.get('op')!r}: {response['error']}")
+            if hub.enabled:
+                op = header.get("op")
+                hub.count(f"net.ops.{op}")
+                hub.observe(f"net.{op}.seconds",
+                            time.monotonic() - started)
             return response, response_blobs
         raise BrokerConnectionError(
             f"broker at {self.url} unreachable: {last_error}") from last_error
@@ -228,6 +236,11 @@ class SocketBroker(Broker):
                    [self._dumps(result_payload)])
 
     # ----------------------------------------------------------------- queries
+
+    def telemetry(self) -> dict:
+        """The broker's live telemetry status (queue depths, ops, leases)."""
+        response, _ = self._call({"op": "telemetry"})
+        return response
 
     def _stats(self) -> dict:
         response, _ = self._call({"op": "stats"})

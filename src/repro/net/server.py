@@ -154,6 +154,9 @@ class BrokerServer:
         self._server = _Server((host, port), _Handler)
         self._server.broker = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._started_monotonic = time.monotonic()
+        #: Per-operation request counts, guarded by the state lock.
+        self._op_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------- lifecycle
 
@@ -211,8 +214,11 @@ class BrokerServer:
         state = self.state
         now = time.monotonic()
         with state.lock:
+            self._op_counts[op] = self._op_counts.get(op, 0) + 1
             if op == "ping":
                 return {"ok": True}, []
+            if op == "telemetry":
+                return self._telemetry_status(now), []
             if op == "publish_manifest":
                 state.manifest = blobs[0]
                 return {"ok": True}, []
@@ -280,6 +286,26 @@ class BrokerServer:
                 state.total = None
                 return {"ok": True}, []
         raise ProtocolError(f"unknown operation {op!r}")
+
+    def _telemetry_status(self, now: float) -> dict:
+        """Queue-depth gauges + op counts + live leases (lock held)."""
+        state = self.state
+        leases = [{"index": index, "expires_in": claim.deadline - now}
+                  for index, claim in sorted(state.claimed.items())]
+        return {"pending": len(state.pending),
+                "claimed": len(state.claimed),
+                "results": len(state.results),
+                "total": state.total,
+                "manifest": state.manifest is not None,
+                "uptime_seconds": now - self._started_monotonic,
+                "ops": dict(self._op_counts),
+                "leases": leases}
+
+    def stats_snapshot(self) -> dict:
+        """The telemetry status, for in-process callers (heartbeats)."""
+        now = time.monotonic()
+        with self.state.lock:
+            return self._telemetry_status(now)
 
 
 def parse_listen_address(text: str) -> Tuple[str, int]:

@@ -1,0 +1,33 @@
+"""repro.obs — zero-dependency campaign telemetry.
+
+Import-light by design: instrumented modules across ``core``, ``machine``,
+``distributed`` and ``net`` import this package from their hot paths, so
+only the stdlib-backed core (hub, sink, exporter) loads here.  The CLI
+surfaces (``repro top``, ``repro report --telemetry``) live in
+``obs.top``/``obs.report`` and are imported lazily where used.
+"""
+
+from .events import JsonlEventSink, read_events
+from .prometheus import render_broker, render_hub, render_metrics
+from .telemetry import (Histogram, NullTelemetry, Telemetry,
+                        TelemetrySnapshot, TraceContext, activate_worker,
+                        attach_sink, configure, finalize, get, set_hub)
+
+__all__ = [
+    "Histogram",
+    "JsonlEventSink",
+    "NullTelemetry",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "TraceContext",
+    "activate_worker",
+    "attach_sink",
+    "configure",
+    "finalize",
+    "get",
+    "read_events",
+    "render_broker",
+    "render_hub",
+    "render_metrics",
+    "set_hub",
+]

@@ -1,0 +1,88 @@
+"""Prometheus text-exposition rendering of hub and broker metrics.
+
+Snapshot-style exporter: ``repro analyze --telemetry-prometheus PATH``
+writes one exposition file at campaign end, and ``repro top --prometheus``
+renders the broker's live telemetry in the same format for scraping
+through a textfile collector.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Mapping, Optional
+
+from .telemetry import Histogram, Telemetry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str = "repro") -> str:
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def _fmt(value: float) -> str:
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))
+
+
+def render_metrics(counters: Mapping[str, float],
+                   gauges: Mapping[str, float],
+                   histograms: Mapping[str, Histogram],
+                   prefix: str = "repro") -> str:
+    """Render counters/gauges/histograms in Prometheus text format."""
+    lines = []
+    for name in sorted(counters):
+        metric = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(counters[name])}")
+    for name in sorted(gauges):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauges[name])}")
+    for name in sorted(histograms):
+        hist = histograms[name]
+        metric = _metric_name(name, prefix) + "_seconds"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        buckets = hist.to_dict()["buckets"]
+        for bound, count in zip(buckets, hist.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        cumulative += hist.counts[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_fmt(hist.total)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_hub(hub: Telemetry, prefix: str = "repro") -> str:
+    """Render a hub's merged (coordinator + workers) metrics."""
+    return render_metrics(hub.merged_counters(), dict(hub.gauges),
+                          hub.merged_histograms(), prefix=prefix)
+
+
+def render_broker(status: Dict[str, Any],
+                  prefix: str = "repro_broker") -> str:
+    """Render a broker telemetry snapshot (the ``telemetry`` op reply)."""
+    gauges: Dict[str, float] = {}
+    for key in ("pending", "claimed", "results", "total"):
+        # ``total`` is None until a manifest is published — unrepresentable
+        # as a Prometheus sample, so it is omitted rather than rendered.
+        if status.get(key) is not None:
+            gauges[key] = status[key]
+    uptime: Optional[float] = status.get("uptime_seconds")
+    if uptime is not None:
+        gauges["uptime_seconds"] = uptime
+    lines = []
+    for name in sorted(gauges):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauges[name])}")
+    ops: Mapping[str, float] = status.get("ops", {})
+    if ops:
+        metric = f"{prefix}_ops_total"
+        lines.append(f"# TYPE {metric} counter")
+        for op in sorted(ops):
+            lines.append(f'{metric}{{op="{op}"}} {_fmt(ops[op])}')
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,90 @@
+"""``repro top --queue tcp://…`` — live broker/campaign status frames.
+
+Polls the broker's ``telemetry`` operation over the existing framed
+protocol and renders either a human-readable status frame or a
+Prometheus-text snapshot per interval.  Imports the net client lazily so
+``repro.obs`` stays import-light for the instrumented hot paths.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from .prometheus import render_broker
+
+
+def format_broker_status(status: Dict[str, Any],
+                         previous: Optional[Dict[str, Any]] = None,
+                         elapsed: Optional[float] = None) -> str:
+    """One human-readable status frame from a broker telemetry reply."""
+    total = status.get("total")
+    results = status.get("results", 0)
+    done = f"{results}/{total}" if total is not None else f"{results}/?"
+    lines = [
+        "repro top — broker "
+        + ("(manifest published)" if status.get("manifest")
+           else "(no manifest)"),
+        f"  pending {status.get('pending', 0):>6}"
+        f"   claimed {status.get('claimed', 0):>6}"
+        f"   results {done:>11}"
+        f"   uptime {status.get('uptime_seconds', 0.0):8.1f}s",
+    ]
+    ops: Dict[str, float] = status.get("ops", {})
+    if ops:
+        if previous is not None and elapsed:
+            prev_ops: Dict[str, float] = previous.get("ops", {})
+            rate = sum(ops.values()) - sum(prev_ops.values())
+            lines.append(f"  ops: {int(sum(ops.values()))} total"
+                         f"   ({rate / elapsed:.1f}/s)")
+        else:
+            lines.append(f"  ops: {int(sum(ops.values()))} total")
+        busiest = sorted(ops.items(), key=lambda kv: -kv[1])[:4]
+        lines.append("  top ops: " + "  ".join(
+            f"{op}={int(count)}" for op, count in busiest))
+    leases = status.get("leases", [])
+    if leases:
+        lines.append("  leases:")
+        for lease in leases[:8]:
+            lines.append(f"    task {lease['index']:>5}  expires in "
+                         f"{lease['expires_in']:6.1f}s")
+        if len(leases) > 8:
+            lines.append(f"    … and {len(leases) - 8} more")
+    return "\n".join(lines)
+
+
+def run_top(url: str, interval: float = 2.0,
+            iterations: Optional[int] = None, once: bool = False,
+            prometheus: bool = False, out: Optional[TextIO] = None) -> int:
+    """Poll the broker and print status frames; returns an exit code."""
+    from ..net.client import BrokerConnectionError, SocketBroker
+
+    out = out if out is not None else sys.stdout
+    if once:
+        iterations = 1
+    remaining = iterations
+    previous: Optional[Dict[str, Any]] = None
+    previous_at: Optional[float] = None
+    with SocketBroker(url) as broker:
+        while True:
+            try:
+                status = broker.telemetry()
+            except BrokerConnectionError as exc:
+                print(f"repro top: {exc}", file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            if prometheus:
+                out.write(render_broker(status))
+            else:
+                elapsed = (None if previous_at is None
+                           else now - previous_at)
+                out.write(format_broker_status(status, previous, elapsed)
+                          + "\n")
+            out.flush()
+            previous, previous_at = status, now
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    return 0
+            time.sleep(interval)

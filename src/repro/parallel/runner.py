@@ -27,6 +27,7 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import obs as _obs
 from ..core.campaign import (CampaignResult, ExecutionStrategy,
                              InjectionResult, ProgressCallback,
                              SerialExecutionStrategy, SymbolicCampaign)
@@ -157,8 +158,9 @@ class ParallelExecutionStrategy(ExecutionStrategy):
                 # merge below stays order-complete while the coordinator
                 # retains nothing.
                 merged[index] = results if self.retain_results else []
-                worker_name, stats = snapshot
+                worker_name, stats, telemetry = snapshot
                 worker_stats[worker_name] = stats  # counters are monotonic
+                _obs.get().absorb(telemetry)
                 for injection, result in zip(chunks[index], results):
                     self.emit_result(injection, result)
                 done_injections += len(results)
@@ -210,8 +212,9 @@ class ParallelTaskStrategy(TaskExecutionStrategy):
             for index, result, snapshot in pool.imap_unordered(run_search_task,
                                                                payloads):
                 merged[index] = result if self.retain_results else None
-                worker_name, stats = snapshot
+                worker_name, stats, telemetry = snapshot
                 worker_stats[worker_name] = stats
+                _obs.get().absorb(telemetry)
                 if progress is not None:
                     progress(len(merged), len(tasks), result)
         self.cache_statistics = _merge_cache_statistics(worker_stats)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from .. import obs as _obs
 from ..core.campaign import SymbolicCampaign
 from ..core.queries import SearchQuery
 from ..core.search import SearchResultCache
@@ -30,6 +31,7 @@ from ..errors.models import ErrorClass, RegisterFileError
 from ..faults.models import FaultModel
 from ..isa.program import Program
 from ..machine.executor import ExecutionConfig
+from ..obs import TraceContext
 
 
 @dataclass(frozen=True)
@@ -77,6 +79,9 @@ class TaskSpec:
 
     max_errors_per_task: int = 10
     wall_clock_per_task: Optional[float] = None
+    #: Coordinator-side trace context so worker task spans parent under the
+    #: campaign trace; ``None`` when telemetry is off.
+    telemetry: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if self.max_errors_per_task < 1:
@@ -91,7 +96,8 @@ class TaskSpec:
     def from_runner(cls, runner) -> "TaskSpec":
         """Snapshot a :class:`~repro.core.tasks.TaskRunner`'s caps."""
         return cls(max_errors_per_task=runner.max_errors_per_task,
-                   wall_clock_per_task=runner.wall_clock_per_task)
+                   wall_clock_per_task=runner.wall_clock_per_task,
+                   telemetry=_obs.get().context())
 
 
 @dataclass(frozen=True)
@@ -157,6 +163,11 @@ class CampaignSpec:
     #: native SymPLFIED build); plain metadata, so it pickles through chunks,
     #: task payloads and broker manifests like ``fault_model`` does.
     isa: Optional[str] = None
+    #: Campaign-scoped trace context (trace id + the coordinator span the
+    #: worker's spans should parent under); ``None`` when telemetry is off.
+    #: Rides every carrier the spec rides — chunk payloads, broker
+    #: manifests — and never reaches :class:`SymbolicCampaign` itself.
+    telemetry: Optional[TraceContext] = None
 
     @classmethod
     def from_campaign(cls, campaign: SymbolicCampaign) -> "CampaignSpec":
@@ -171,7 +182,8 @@ class CampaignSpec:
             max_solutions_per_injection=campaign.max_solutions_per_injection,
             max_states_per_injection=campaign.max_states_per_injection,
             wall_clock_per_injection=campaign.wall_clock_per_injection,
-            isa=campaign.isa)
+            isa=campaign.isa,
+            telemetry=_obs.get().context())
 
     def build(self) -> SymbolicCampaign:
         return SymbolicCampaign(

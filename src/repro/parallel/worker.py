@@ -18,17 +18,21 @@ from __future__ import annotations
 import multiprocessing
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs as _obs
 from ..core.campaign import InjectionResult, SymbolicCampaign
 from ..core.queries import SearchQuery
 from ..core.search import CacheStatistics, SearchResultCache
 from ..core.tasks import SearchTask, TaskResult, TaskRunner
 from ..errors.injector import Injection
+from ..obs import TelemetrySnapshot
 from .spec import CacheSpec, CampaignSpec, QuerySpec
 
-#: A worker's cache counters at the end of one work unit: (process name,
-#: cumulative statistics).  Counters are monotonic, so the parent keeps the
-#: latest snapshot per process and sums them when the pool drains.
-CacheSnapshot = Tuple[str, CacheStatistics]
+#: A worker's counters at the end of one work unit: (process name,
+#: cumulative cache statistics, telemetry snapshot or None).  Cache counters
+#: are monotonic, so the parent keeps the latest snapshot per process and
+#: sums them when the pool drains; the telemetry snapshot is merged into
+#: the coordinator hub the same way (events drained, metrics latest-wins).
+CacheSnapshot = Tuple[str, CacheStatistics, Optional[TelemetrySnapshot]]
 
 #: Per-process worker context, populated by :func:`initialize_worker`.
 _WORKER: Dict[str, object] = {}
@@ -44,6 +48,10 @@ def initialize_worker(campaign_spec: CampaignSpec, query_spec: QuerySpec,
     per-process LRU, or a shared on-disk cache every worker opens (each
     process gets its own connection — sqlite handles do not survive fork).
     """
+    # Always replace the inherited hub: under fork a child would otherwise
+    # share the coordinator's open sink file.  Worker events buffer locally
+    # and ship with each work unit's snapshot instead.
+    _obs.activate_worker(campaign_spec.telemetry)
     campaign = campaign_spec.build()
     _WORKER["campaign"] = campaign
     _WORKER["query"] = query_spec.build()
@@ -64,7 +72,8 @@ def _cache_snapshot(cache: SearchResultCache) -> CacheSnapshot:
     stats = cache.statistics
     return (multiprocessing.current_process().name,
             CacheStatistics(hits=stats.hits, misses=stats.misses,
-                            stores=stats.stores, evictions=stats.evictions))
+                            stores=stats.stores, evictions=stats.evictions),
+            _obs.get().snapshot())
 
 
 def run_injection_chunk(payload: Tuple[int, Tuple[Injection, ...]],
@@ -75,8 +84,11 @@ def run_injection_chunk(payload: Tuple[int, Tuple[Injection, ...]],
     """
     index, injections = payload
     campaign, query, cache = _context()
-    results = [campaign.run_injection(injection, query, result_cache=cache)
-               for injection in injections]
+    with _obs.get().span("worker.chunk", chunk=index,
+                         injections=len(injections)):
+        results = [campaign.run_injection(injection, query,
+                                          result_cache=cache)
+                   for injection in injections]
     return index, results, _cache_snapshot(cache)
 
 
@@ -87,5 +99,6 @@ def run_search_task(payload: Tuple[int, SearchTask],
     _context()
     runner: TaskRunner = _WORKER["task_runner"]  # type: ignore[assignment]
     cache: SearchResultCache = _WORKER["cache"]  # type: ignore[assignment]
-    result = runner.run_task(task, _WORKER["query"], result_cache=cache)
+    with _obs.get().span("worker.task", task=index):
+        result = runner.run_task(task, _WORKER["query"], result_cache=cache)
     return index, result, _cache_snapshot(cache)

@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .. import obs as _obs
 from ..core.campaign import InjectionResult
 from .aggregates import OutcomeAggregates, SolutionOutcome
 
@@ -262,17 +263,23 @@ class SqliteResultStore(ResultStore):
     def flush(self) -> None:
         if not self._injection_rows and not self._outcome_rows:
             return
-        self._connection.executemany(
-            "INSERT OR REPLACE INTO injections (campaign_id, seq, label, "
-            "model, breakpoint_pc, target, activated, completed, solutions, "
-            "latent, result) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            self._injection_rows)
-        self._connection.executemany(
-            "INSERT OR REPLACE INTO outcomes (campaign_id, seq, "
-            "solution_index, kind, detector_id, exception) "
-            "VALUES (?, ?, ?, ?, ?, ?)",
-            self._outcome_rows)
-        self._connection.commit()
+        rows = len(self._injection_rows)
+        with _obs.get().span("store.flush", rows=rows):
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO injections (campaign_id, seq, label, "
+                "model, breakpoint_pc, target, activated, completed, "
+                "solutions, latent, result) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                self._injection_rows)
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO outcomes (campaign_id, seq, "
+                "solution_index, kind, detector_id, exception) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                self._outcome_rows)
+            self._connection.commit()
+        hub = _obs.get()
+        if hub.enabled:
+            hub.count("store.rows", rows)
         self._injection_rows = []
         self._outcome_rows = []
 
@@ -393,10 +400,17 @@ class MemoryResultStore(ResultStore):
 
     def flush(self) -> None:
         with self._lock:
-            for campaign_id, row, outcomes in self._buffer:
-                self._rows[campaign_id][row.seq] = row
-                self._outcomes[campaign_id][row.seq] = outcomes
-            self._buffer = []
+            if not self._buffer:
+                return
+            rows = len(self._buffer)
+            with _obs.get().span("store.flush", rows=rows):
+                for campaign_id, row, outcomes in self._buffer:
+                    self._rows[campaign_id][row.seq] = row
+                    self._outcomes[campaign_id][row.seq] = outcomes
+                self._buffer = []
+            hub = _obs.get()
+            if hub.enabled:
+                hub.count("store.rows", rows)
 
     def finish_campaign(self, campaign_id: int,
                         elapsed_seconds: float) -> None:

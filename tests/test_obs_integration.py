@@ -1,0 +1,266 @@
+"""End-to-end telemetry: cross-process propagation, span parenting, and
+result neutrality under every campaign backend.
+
+The load-bearing guarantee is that ``--telemetry`` observes a campaign
+without perturbing it: the result projection (labels, activation,
+solutions) must be identical with the hub enabled and disabled, under the
+serial, pool, distributed-filesystem and distributed-TCP backends alike.
+"""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.core import SerialExecutionStrategy, SymbolicCampaign
+from repro.distributed import (CampaignManifest, CheckpointingStrategy,
+                               DistributedConfig,
+                               DistributedExecutionStrategy,
+                               FilesystemBroker, RecordJournal, WorkerConfig,
+                               run_worker)
+from repro.distributed.broker import enqueue_campaign
+from repro.machine import ExecutionConfig
+from repro.net import BrokerServer
+from repro.obs import (JsonlEventSink, NullTelemetry, TraceContext,
+                       read_events)
+from repro.parallel import (CampaignSpec, ParallelConfig,
+                            ParallelExecutionStrategy, QuerySpec, TaskSpec)
+from repro.programs import factorial_workload
+
+INJECTIONS = 6
+
+
+@pytest.fixture(autouse=True)
+def restore_hub():
+    """Every test leaves the process-global hub disabled again."""
+    yield
+    obs.set_hub(NullTelemetry())
+
+
+@pytest.fixture
+def server():
+    broker_server = BrokerServer().start()
+    yield broker_server
+    broker_server.stop()
+
+
+def make_campaign(workload):
+    return SymbolicCampaign(
+        workload.program,
+        input_values=workload.default_input,
+        memory=workload.data_segment,
+        detectors=workload.detectors,
+        execution_config=ExecutionConfig(
+            max_steps=workload.recommended_max_steps),
+        max_solutions_per_injection=10,
+        max_states_per_injection=10_000)
+
+
+def result_keys(results):
+    """The order-sensitive, timing-free projection used for equivalence."""
+    return [(r.injection.label(), r.activated, r.completed,
+             [s.state.output_values() for s in r.solutions],
+             [s.state.status.value for s in r.solutions])
+            for r in results]
+
+
+def run_campaign(strategy=None, telemetry_path=None):
+    """One factorial campaign, optionally traced to *telemetry_path*."""
+    workload = factorial_workload()
+    campaign = make_campaign(workload)
+    injections = campaign.enumerate_injections()[:INJECTIONS]
+    query = QuerySpec.predefined(
+        "err-output", golden_output=workload.golden_output()).build()
+    if telemetry_path is not None:
+        obs.configure(sink=JsonlEventSink(telemetry_path),
+                      component="coordinator")
+    try:
+        result = campaign.run(query, injections=injections,
+                              strategy=strategy)
+    finally:
+        obs.finalize()
+    return result
+
+
+def spans_of(events, name):
+    return [e for e in events if e["type"] == "span" and e["name"] == name]
+
+
+class TestPropagation:
+    def test_campaign_spec_carries_trace_through_pickle(self):
+        obs.configure(component="coordinator", trace_id="tr-prop")
+        spec = CampaignSpec.from_campaign(
+            make_campaign(factorial_workload()))
+        revived = pickle.loads(pickle.dumps(spec))
+        assert revived.telemetry == TraceContext(trace_id="tr-prop")
+
+    def test_task_spec_carries_trace_through_pickle(self):
+        hub = obs.configure(component="coordinator", trace_id="tr-task")
+        with hub.span("task.run") as span:
+            spec = TaskSpec(telemetry=hub.context())
+        revived = pickle.loads(pickle.dumps(spec))
+        assert revived.telemetry.trace_id == "tr-task"
+        assert revived.telemetry.parent_span_id == span.span_id
+
+    def test_manifest_carries_trace_through_pickle(self):
+        obs.configure(component="coordinator", trace_id="tr-manifest")
+        manifest = CampaignManifest(
+            campaign_spec=CampaignSpec.from_campaign(
+                make_campaign(factorial_workload())),
+            query_spec=QuerySpec.predefined("err-output", golden_output=()))
+        revived = pickle.loads(pickle.dumps(manifest))
+        assert revived.campaign_spec.telemetry.trace_id == "tr-manifest"
+
+    def test_disabled_hub_leaves_specs_unannotated(self):
+        spec = CampaignSpec.from_campaign(
+            make_campaign(factorial_workload()))
+        assert spec.telemetry is None
+
+
+class TestSerialBackend:
+    def test_results_unchanged_and_spans_parented(self, tmp_path):
+        baseline = run_campaign()
+        path = str(tmp_path / "tele.jsonl")
+        traced = run_campaign(telemetry_path=path)
+        assert result_keys(baseline.results) == result_keys(traced.results)
+
+        events = read_events(path)
+        [root] = spans_of(events, "campaign.run")
+        solves = spans_of(events, "search.solve")
+        assert len(solves) == INJECTIONS
+        assert all(s["parent"] == root["span"] for s in solves)
+        assert {e["trace"] for e in events} == {root["trace"]}
+        [metrics] = [e for e in events if e["type"] == "metrics"]
+        assert metrics["counters"]["search.runs"] == INJECTIONS
+
+
+class TestPoolBackend:
+    def strategy(self):
+        return ParallelExecutionStrategy(
+            QuerySpec.predefined(
+                "err-output",
+                golden_output=factorial_workload().golden_output()),
+            ParallelConfig(workers=2))
+
+    def test_results_unchanged_and_worker_spans_absorbed(self, tmp_path):
+        baseline = run_campaign(strategy=self.strategy())
+        path = str(tmp_path / "tele.jsonl")
+        traced = run_campaign(strategy=self.strategy(), telemetry_path=path)
+        assert result_keys(baseline.results) == result_keys(traced.results)
+
+        events = read_events(path)
+        [root] = spans_of(events, "campaign.run")
+        chunks = spans_of(events, "worker.chunk")
+        assert chunks, "worker spans must ship back to the coordinator"
+        assert all(c["component"] != "coordinator" for c in chunks)
+        assert all(c["parent"] == root["span"] for c in chunks)
+        chunk_ids = {c["span"] for c in chunks}
+        assert all(s["parent"] in chunk_ids
+                   for s in spans_of(events, "search.solve"))
+        assert {e["trace"] for e in events} == {root["trace"]}
+        [metrics] = [e for e in events if e["type"] == "metrics"]
+        assert metrics["counters"]["search.runs"] == INJECTIONS
+        assert metrics["workers"], "per-worker counters must be reported"
+
+
+class TestDistributedBackends:
+    def strategy(self, queue_dir):
+        return DistributedExecutionStrategy(
+            QuerySpec.predefined(
+                "err-output",
+                golden_output=factorial_workload().golden_output()),
+            DistributedConfig(workers=2, queue_dir=queue_dir))
+
+    def check(self, tmp_path, queue_a, queue_b):
+        baseline = run_campaign(strategy=self.strategy(queue_a))
+        path = str(tmp_path / "tele.jsonl")
+        traced = run_campaign(strategy=self.strategy(queue_b),
+                              telemetry_path=path)
+        assert result_keys(baseline.results) == result_keys(traced.results)
+
+        events = read_events(path)
+        [root] = spans_of(events, "campaign.run")
+        assert spans_of(events, "broker.publish")
+        units = spans_of(events, "worker.unit")
+        assert units and all(u["component"] != "coordinator" for u in units)
+        assert {e["trace"] for e in events} == {root["trace"]}
+        [metrics] = [e for e in events if e["type"] == "metrics"]
+        assert metrics["counters"]["search.runs"] == INJECTIONS
+        # Filesystem queues count broker.claims in-process; TCP queues
+        # count the client-side round-trips instead.
+        claims = (metrics["counters"].get("broker.claims", 0)
+                  + metrics["counters"].get("net.ops.claim", 0))
+        assert claims >= len(units)
+
+    def test_filesystem_queue(self, tmp_path):
+        self.check(tmp_path, str(tmp_path / "qa"), str(tmp_path / "qb"))
+
+    def test_tcp_queue(self, tmp_path, server):
+        self.check(tmp_path, server.url, server.url)
+
+
+class TestWorkerCrash:
+    def test_crash_releases_claim_and_logs_event(self, tmp_path, capsys):
+        workload = factorial_workload()
+        queue = str(tmp_path / "queue")
+        broker = FilesystemBroker(queue)
+        enqueue_campaign(
+            broker,
+            CampaignManifest(
+                campaign_spec=CampaignSpec.from_campaign(
+                    make_campaign(workload)),
+                query_spec=QuerySpec.predefined(
+                    "err-output", golden_output=workload.golden_output()),
+                campaign_id="crash-test"),
+            [(0, ("not-an-injection",))])
+
+        sink_path = str(tmp_path / "worker.jsonl")
+        obs.configure(sink=JsonlEventSink(sink_path), component="w-crash")
+        with pytest.raises(Exception):
+            run_worker(WorkerConfig(queue_dir=queue, poll_interval=0.01,
+                                    max_idle_seconds=5.0))
+        obs.finalize()
+
+        # The claim went back to the queue instead of stranding a lease.
+        reclaim = FilesystemBroker(queue).claim_next()
+        assert reclaim is not None and reclaim.index == 0
+
+        [crash] = [e for e in read_events(sink_path)
+                   if e.get("name") == "worker.crash"]
+        assert crash["index"] == 0
+        assert crash["released"] is True
+        assert crash["error"]
+        assert '"event": "worker.crash"' in capsys.readouterr().err
+
+
+class TestCheckpointTrace:
+    def run_checkpointed(self, journal_path, resume=False):
+        workload = factorial_workload()
+        campaign = make_campaign(workload)
+        injections = campaign.enumerate_injections()[:4]
+        query = QuerySpec.predefined(
+            "err-output", golden_output=workload.golden_output()).build()
+        strategy = CheckpointingStrategy(SerialExecutionStrategy(),
+                                         journal_path, resume=resume)
+        results = strategy.run(campaign, injections, query)
+        return results, strategy
+
+    def test_resume_adopts_the_original_trace(self, tmp_path):
+        journal_path = str(tmp_path / "ck.pkl")
+        hub = obs.configure(component="coordinator")
+        first, _ = self.run_checkpointed(journal_path)
+        original_trace = hub.trace_id
+        obs.set_hub(NullTelemetry())
+
+        resumed_hub = obs.configure(component="coordinator")
+        assert resumed_hub.trace_id != original_trace
+        second, strategy = self.run_checkpointed(journal_path, resume=True)
+        assert resumed_hub.trace_id == original_trace
+        assert strategy.skipped == 4
+        assert result_keys(first) == result_keys(second)
+
+    def test_disabled_telemetry_journals_no_trace_record(self, tmp_path):
+        journal_path = str(tmp_path / "ck.pkl")
+        self.run_checkpointed(journal_path)
+        tags = {record[0] for record in RecordJournal(journal_path).load()}
+        assert tags == {"header", "result"}
