@@ -20,6 +20,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
@@ -166,17 +167,29 @@ def _build_parser() -> argparse.ArgumentParser:
                               f"{', '.join(sorted(FAULT_MODELS))}); combine "
                               "with --sample/--seed to sweep a deterministic "
                               "subset of its space")
+    analyze.add_argument("--burst-k", type=int, default=None, metavar="K",
+                         help="simultaneous faults per experiment for "
+                              "--fault-model burst (default: 2; a burst "
+                              "needs K >= 2)")
     analyze.add_argument("--sample", type=_positive_int, default=None,
                          help="sweep a deterministic sample of this many "
-                              "injections instead of the full space")
+                              "injections drawn from the selected model's "
+                              "enumerated space (each model enumerates its "
+                              "own space — burst and bitflip spaces are far "
+                              "larger than register's); a sample larger "
+                              "than the space clamps with a warning")
     analyze.add_argument("--seed", type=int, default=None,
-                         help="seed for --sample (default: 0; the same seed "
-                              "always picks the same injections)")
+                         help="seed for --sample (default: 0; the same "
+                              "model, seed and sample size pick the same "
+                              "injections on every backend)")
     analyze.add_argument("--query", default="undetected-failure",
                          choices=("err-output", "incorrect-output",
                                   "wrong-final-value", "crash", "hang",
-                                  "undetected-failure", "latent-err"),
-                         help="outcome to search for")
+                                  "undetected-failure", "latent-err",
+                                  "any-outcome"),
+                         help="outcome to search for (any-outcome records "
+                              "every terminal state — the parity-study "
+                              "census)")
     analyze.add_argument("--expected", type=int, default=None,
                          help="expected final printed value (wrong-final-value query)")
     analyze.add_argument("--max-injections", type=_positive_int, default=None,
@@ -186,6 +199,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="per-injection cap on reported errors")
     analyze.add_argument("--max-states", type=int, default=20_000,
                          help="per-injection cap on explored states")
+    analyze.add_argument("--no-dedup", action="store_true",
+                         help="disable search-state deduplication so "
+                              "looping lineages run to the symbolic "
+                              "watchdog instead of collapsing into a state "
+                              "cycle (needed for an any-outcome census "
+                              "that must report hang terminals)")
     analyze.add_argument("--control-fork-domain", default="labels",
                          choices=("labels", "targets", "all", "exception_only"))
     analyze.add_argument("--witnesses", type=int, default=3,
@@ -230,6 +249,13 @@ def _build_parser() -> argparse.ArgumentParser:
                               "result into the store and incremental "
                               "aggregates instead of retaining the sweep "
                               "in memory (query it with 'repro report')")
+    analyze.add_argument("--compare-concrete", action="store_true",
+                         help="after the campaign, run the symbolic-vs-"
+                              "concrete parity study over the same "
+                              "injection points: Monte-Carlo single-bit "
+                              "flips through the concrete simulator, "
+                              "tabulated against the symbolic outcome "
+                              "classes per point (paper Section 6.3)")
     analyze.add_argument("--progress", action="store_true",
                          help="report sweep progress on stderr")
     analyze.add_argument("--telemetry", default=None, metavar="PATH",
@@ -301,6 +327,11 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results", default=None, metavar="PATH",
                         help="sqlite results store written by 'repro analyze "
                              "--results' or 'repro bench'")
+    report.add_argument("--parity", action="store_true",
+                        help="print the symbolic-vs-bit-flip parity table "
+                             "instead of the aggregate report (joins each "
+                             "program's bitflip campaign against its "
+                             "symbolic campaigns per injection point)")
     report.add_argument("--campaign", type=int, default=None,
                         help="report a single campaign id "
                              "(default: whole-warehouse summary)")
@@ -467,6 +498,13 @@ def _command_analyze(args: argparse.Namespace) -> int:
     except ValueError as exc:
         # Mirror validate_queue_locator: one readable line, no traceback.
         raise SystemExit(str(exc)) from None
+    if args.burst_k is not None:
+        if model is None or model.name != "burst":
+            raise SystemExit("--burst-k only applies to --fault-model burst")
+        if args.burst_k < 2:
+            raise SystemExit(f"--burst-k must be >= 2 (a burst is K "
+                             f"simultaneous faults), got {args.burst_k}")
+        model = dataclasses.replace(model, k=args.burst_k)
 
     # Telemetry is configured before the campaign is built so every span —
     # including campaign.run itself — lands under one trace, and the trace
@@ -494,6 +532,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
             control_fork_domain=args.control_fork_domain),
         max_solutions_per_injection=args.max_solutions,
         max_states_per_injection=args.max_states,
+        deduplicate_states=not args.no_dedup,
         isa=workload.isa)
 
     injections = campaign.plan_injections(sample=args.sample, seed=args.seed)
@@ -508,6 +547,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
     print(f"golden output  : {list(golden)}")
     if model is not None:
         print(f"fault model    : {model.name}")
+        if model.name == "burst":
+            print(f"burst k        : {model.k}")
     else:
         print(f"error class    : {args.error_class or 'register'}")
     if args.sample is not None:
@@ -583,6 +624,18 @@ def _command_analyze(args: argparse.Namespace) -> int:
     if result.total_solutions == 0 and result.all_completed:
         print("\nno errors of this class evade detection for the explored "
               "injections: the program is resilient (within the search bounds).")
+    if args.compare_concrete:
+        from .concrete import run_parity_study
+        parity = run_parity_study(
+            workload.program, injections, golden,
+            input_values=workload.default_input,
+            memory=workload.data_segment,
+            detectors=workload.detectors,
+            max_states=args.max_states,
+            max_steps=args.max_steps)
+        print()
+        print("symbolic vs concrete bit-flip parity:")
+        print(parity.format_table())
     if store is not None:
         store.close()
     if telemetry_on:
@@ -747,6 +800,9 @@ def _command_report(args: argparse.Namespace) -> int:
     if args.results is None and args.telemetry is None:
         raise SystemExit("repro report needs --results PATH and/or "
                          "--telemetry PATH")
+    if args.parity and args.results is None:
+        raise SystemExit("--parity needs --results PATH (the warehouse "
+                         "holding the symbolic and bitflip campaigns)")
     if args.telemetry is not None:
         from .obs import read_events
         from .obs.report import format_telemetry_report
@@ -758,13 +814,16 @@ def _command_report(args: argparse.Namespace) -> int:
     if args.results is None:
         return 0
 
-    from .results import SqliteResultStore, format_report
+    from .results import SqliteResultStore, format_parity_report, format_report
 
     if not os.path.exists(args.results):
         raise SystemExit(f"results store not found: {args.results}")
     store = SqliteResultStore(args.results)
     try:
-        print(format_report(store, campaign_id=args.campaign))
+        if args.parity:
+            print(format_parity_report(store))
+        else:
+            print(format_report(store, campaign_id=args.campaign))
     except KeyError as exc:
         raise SystemExit(str(exc.args[0]) if exc.args else str(exc)) from exc
     finally:

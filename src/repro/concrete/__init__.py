@@ -3,6 +3,8 @@
 from .simulator import ConcreteRun, ConcreteSimulator
 from .faultinjection import (ConcreteCampaign, ConcreteCampaignResult,
                              ConcreteExperiment, INT32_MAX, INT32_MIN, ValuePolicy)
+from .parity import (SYMBOLIC_COVERS, ParityReport, ParityRow, covers,
+                     run_parity_study)
 from .stats import (OutcomeDistribution, OutcomeLabeler, printed_value_labeler,
                     tcas_outcome_labels)
 
@@ -10,6 +12,8 @@ __all__ = [
     "ConcreteRun", "ConcreteSimulator",
     "ConcreteCampaign", "ConcreteCampaignResult", "ConcreteExperiment",
     "INT32_MAX", "INT32_MIN", "ValuePolicy",
+    "SYMBOLIC_COVERS", "ParityReport", "ParityRow", "covers",
+    "run_parity_study",
     "OutcomeDistribution", "OutcomeLabeler", "printed_value_labeler",
     "tcas_outcome_labels",
 ]

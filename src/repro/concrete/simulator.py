@@ -94,3 +94,28 @@ class ConcreteSimulator:
             run_concrete(self.program, state, self.detectors, self.max_steps)
         return ConcreteRun(state=state, injection=injection,
                            injected_value=value, activated=activated)
+
+    def run_with_spec(self, spec: Injection,
+                      input_values: Sequence[int] = (),
+                      memory: Optional[Dict[int, int]] = None) -> ConcreteRun:
+        """Run one planned fault spec concretely.
+
+        Unlike :meth:`run_with_injection`, the value written is whatever the
+        spec itself prescribes: a burst applies every component, a bit-flip
+        spec reads the live target and XORs ``1 << bit`` into it, a plain
+        :class:`~repro.faults.FaultSpec` writes its ``value``.  The spec is
+        applied through :func:`~repro.machine.executor.apply_fault_set` —
+        the same code path the symbolic campaign uses — so parity studies
+        compare identical corruptions, not merely identical addresses.
+        """
+        from ..machine.executor import apply_fault_set
+
+        state = self.fresh_state(input_values, memory)
+        run_concrete_until(self.program, state, spec.breakpoint_pc,
+                           occurrence=spec.occurrence,
+                           detectors=self.detectors, max_steps=self.max_steps)
+        activated = state.is_running and state.pc == spec.breakpoint_pc
+        if activated:
+            apply_fault_set(state, (spec,))
+            run_concrete(self.program, state, self.detectors, self.max_steps)
+        return ConcreteRun(state=state, injection=spec, activated=activated)

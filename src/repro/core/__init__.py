@@ -1,7 +1,8 @@
 """The SymPLFIED core: symbolic model checking, queries, campaigns and tasks."""
 
 from .outcomes import Outcome, OutcomeKind, classify, golden_run_output
-from .queries import (SearchQuery, crashed, detected, halted_normally, hung,
+from .queries import (SearchQuery, any_outcome, crashed, detected,
+                      halted_normally, hung,
                       incorrect_output, last_printed_value, latent_err,
                       output_contains_err, output_differs, output_equals,
                       printed_value, printed_value_other_than,
@@ -21,7 +22,8 @@ from .traces import Witness, witnesses_from_campaign
 
 __all__ = [
     "Outcome", "OutcomeKind", "classify", "golden_run_output",
-    "SearchQuery", "crashed", "detected", "halted_normally", "hung",
+    "SearchQuery", "any_outcome", "crashed", "detected",
+    "halted_normally", "hung",
     "incorrect_output", "last_printed_value", "latent_err",
     "output_contains_err", "output_differs", "output_equals",
     "printed_value", "printed_value_other_than", "undetected_failure",

@@ -130,7 +130,20 @@ class ExecutionStrategy:
     :class:`SymbolicCampaign` agnostic of *where* each experiment runs.  The
     serial strategy below preserves the original single-process behaviour;
     :mod:`repro.parallel` provides a multiprocessing strategy that shards the
-    sweep across a worker pool and merges results deterministically.
+    sweep across a worker pool and merges results deterministically, and
+    :mod:`repro.distributed` / :mod:`repro.net` run the same sweep over a
+    broker.  Wrappers compose: checkpointing, recording into a
+    :class:`~repro.results.ResultStore`, progress reporting.
+
+    The contract for :meth:`run`: given the same ``(campaign, injections,
+    query)``, every strategy must return results equal to the serial
+    strategy's, in submission order — backends may only change *where*
+    searches run, never *what* they return (`repro bench
+    --expect-identical` enforces this byte-for-byte across backends, for
+    every fault model including multi-error bursts).  Each injection
+    experiment is a pure function of the campaign identity, which is what
+    makes work stealing, re-execution after lease expiry and checkpoint
+    resume safe.
     """
 
     name: str = "abstract"
@@ -207,6 +220,7 @@ class SymbolicCampaign:
                  max_solutions_per_injection: int = 10,
                  max_states_per_injection: int = 50_000,
                  wall_clock_per_injection: Optional[float] = None,
+                 deduplicate_states: bool = True,
                  isa: Optional[str] = None) -> None:
         self.program = program
         self.input_values = tuple(input_values)
@@ -220,6 +234,11 @@ class SymbolicCampaign:
         self.max_solutions_per_injection = max_solutions_per_injection
         self.max_states_per_injection = max_states_per_injection
         self.wall_clock_per_injection = wall_clock_per_injection
+        #: Search-state deduplication (on by default).  The parity census
+        #: turns it off: dedup collapses an err-driven loop into a state
+        #: cycle before the lineage reaches the watchdog, so a deduplicating
+        #: any-outcome search under-reports ``hang`` terminals.
+        self.deduplicate_states = deduplicate_states
         #: ISA frontend the program was retargeted through, if any; pure
         #: provenance metadata pinned into checkpoint headers and specs.
         self.isa = isa
@@ -286,6 +305,7 @@ class SymbolicCampaign:
             max_solutions=self.max_solutions_per_injection,
             max_states=self.max_states_per_injection,
             wall_clock_seconds=self.wall_clock_per_injection,
+            deduplicate=self.deduplicate_states,
             result_cache=result_cache)
         result = checker.search_single(injected, query)
         return InjectionResult(injection=injection, activated=True, search=result)

@@ -69,6 +69,17 @@ def latent_err() -> SearchQuery:
                                       or state.output_contains_err()))
 
 
+def any_outcome() -> SearchQuery:
+    """Match every terminal state.
+
+    The census query of the parity study: with it, the recording strategy
+    classifies and warehouses *every* outcome a campaign reaches — correct
+    runs included — so ``repro report --parity`` can compare the full
+    symbolic outcome set per injection point against concrete bit flips.
+    """
+    return SearchQuery("any terminal outcome", lambda state: True)
+
+
 def crashed() -> SearchQuery:
     return SearchQuery("program crashed (exception thrown)",
                        lambda state: state.status is Status.EXCEPTION)

@@ -69,6 +69,20 @@ class ClaimedTask:
 class Broker:
     """The coordinator/worker contract (see the module docstring).
 
+    Lifecycle: the coordinator :meth:`reset`\\ s the queue, then
+    :meth:`publish_manifest`\\ s the campaign identity and
+    :meth:`put_task`\\ s injection chunks, finally sealing the queue with
+    :meth:`close_queue`.  Workers :meth:`load_manifest`, then loop
+    :meth:`claim_next` -> work (``renew_lease`` while busy) ->
+    :meth:`complete`; the coordinator drains with
+    :meth:`fetch_new_results` and :meth:`requeue_expired` until
+    :meth:`is_drained`.
+
+    Payloads are opaque pickles: task chunks carry
+    :class:`~repro.faults.spec.FaultSpec` sequences (including composite
+    :class:`~repro.faults.spec.BurstFaultSpec`\\ s) and must round-trip
+    byte-faithfully — a broker may move bytes, never re-encode them.
+
     Every implementation must satisfy ``tests/test_broker_conformance.py``,
     the executable form of this contract; the suite runs against the
     filesystem and socket brokers and is the drop-in gate for any future

@@ -64,7 +64,8 @@ def campaign_header(campaign: SymbolicCampaign, query: SearchQuery) -> Dict:
         "input_values": tuple(campaign.input_values),
         "search_caps": (campaign.max_solutions_per_injection,
                         campaign.max_states_per_injection,
-                        campaign.wall_clock_per_injection),
+                        campaign.wall_clock_per_injection,
+                        campaign.deduplicate_states),
         "execution_config": repr(campaign.execution_config),
         "semantics_digest": semantics,
     }

@@ -80,9 +80,16 @@ def prepare_injected_state(program: Program,
     or ``None`` when the breakpoint is never reached during the error-free
     execution (the fault would never be activated — the paper skips such
     experiments).
+
+    Multi-error and read-modify-write specs are recognised structurally:
+    an injection carrying ``components`` (a burst) or a ``bit`` (a concrete
+    bit flip) is applied through
+    :func:`~repro.machine.executor.apply_fault_set`, which writes every
+    corruption of the experiment through the same CoW path; everything
+    else writes *value* into the single target as before.
     """
     from ..detectors import EMPTY_DETECTORS
-    from ..machine.executor import run_concrete_until
+    from ..machine.executor import apply_fault_set, run_concrete_until
 
     state = initial.copy()
     run_concrete_until(program, state, injection.breakpoint_pc,
@@ -91,7 +98,11 @@ def prepare_injected_state(program: Program,
                        max_steps=max_prefix_steps)
     if not state.is_running or state.pc != injection.breakpoint_pc:
         return None
-    apply_corruption(state, injection.target, value)
+    if (getattr(injection, "components", None)
+            or getattr(injection, "bit", None) is not None):
+        apply_fault_set(state, (injection,))
+    else:
+        apply_corruption(state, injection.target, value)
     return state
 
 

@@ -5,22 +5,32 @@ Public surface:
 * :class:`FaultSpec` — the picklable unit: one planned fault (injection
   point + value + originating model), carried unchanged by all four
   execution backends;
-* :class:`FaultModel` and the concrete models —
+* :class:`BurstFaultSpec` / :class:`BitFlipFaultSpec` — composite and
+  concrete-bit-flip specs: an ordered tuple of simultaneous component
+  faults, and a read-modify-write single-bit corruption;
+* :class:`FaultModel` and the six concrete models —
   :class:`RegisterValueFault`, :class:`MemoryCellFault`,
-  :class:`ControlFlowFault`, :class:`InstructionOperandFault`;
+  :class:`ControlFlowFault`, :class:`InstructionOperandFault`,
+  :class:`BurstFault` (k simultaneous faults per experiment) and
+  :class:`BitFlipFault` (the Monte-Carlo leg of the parity study);
 * :data:`FAULT_MODELS` / :func:`fault_model` — the registry behind
   ``repro analyze --fault-model``;
 * :func:`deterministic_sample` — seed-deterministic subsetting of an
   enumerated injection space.
+
+The authoring guide — how to subclass :class:`FaultModel`, keep specs
+picklable, register, and what the carriers guarantee — is
+``docs/fault-models.md``.
 """
 
-from .models import (FAULT_MODELS, ControlFlowFault, FaultModel,
-                     InstructionOperandFault, MemoryCellFault,
+from .models import (FAULT_MODELS, BitFlipFault, BurstFault, ControlFlowFault,
+                     FaultModel, InstructionOperandFault, MemoryCellFault,
                      RegisterValueFault, deterministic_sample, fault_model)
-from .spec import FaultSpec
+from .spec import BitFlipFaultSpec, BurstFaultSpec, FaultSpec
 
 __all__ = [
-    "FAULT_MODELS", "ControlFlowFault", "FaultModel", "FaultSpec",
+    "FAULT_MODELS", "BitFlipFault", "BitFlipFaultSpec", "BurstFault",
+    "BurstFaultSpec", "ControlFlowFault", "FaultModel", "FaultSpec",
     "InstructionOperandFault", "MemoryCellFault", "RegisterValueFault",
     "deterministic_sample", "fault_model",
 ]

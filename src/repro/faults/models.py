@@ -8,8 +8,9 @@ a program (every :class:`~repro.faults.spec.FaultSpec` of its class) or
 *samples* a deterministic subset under a seed, and the campaign plans its
 sweep from whichever model it is given.
 
-Four concrete models ship here, selected on the CLI by
-``repro analyze --fault-model {register,memory,control,operand}``:
+Six concrete models ship here, selected on the CLI by
+``repro analyze --fault-model
+{register,memory,control,operand,burst,bitflip}``:
 
 * :class:`RegisterValueFault` — ``err`` in a register used by each
   instruction (the paper's Section 6 campaign, extracted from the old
@@ -19,27 +20,35 @@ Four concrete models ship here, selected on the CLI by
 * :class:`ControlFlowFault` — a corrupted program counter at
   control-transfer instructions (branch/jump/call targets);
 * :class:`InstructionOperandFault` — ``err`` in the source operands an
-  instruction reads (bus/decode-style operand corruption).
+  instruction reads (bus/decode-style operand corruption);
+* :class:`BurstFault` — *k* simultaneous corruptions per experiment
+  (the paper's multi-error extension), composed from the base models'
+  spaces into :class:`~repro.faults.spec.BurstFaultSpec` tuples;
+* :class:`BitFlipFault` — concrete single-bit corruptions over the same
+  injection addresses the symbolic models enumerate, the Monte-Carlo leg
+  of the symbolic-vs-bit-flip parity study (Section 6's comparison).
 
-Future models (timing errors, multi-error bursts, concrete bit-flips) plug
-in by subclassing :class:`FaultModel` and registering in
-:data:`FAULT_MODELS`; everything downstream — planning, chunking, the four
-execution backends, checkpointing — operates on the produced FaultSpecs
-and needs no change.
+Future models (timing errors, multi-bit cell faults, ...) plug in by
+subclassing :class:`FaultModel` and registering in :data:`FAULT_MODELS`;
+everything downstream — planning, chunking, the four execution backends,
+checkpointing — operates on the produced FaultSpecs and needs no change.
+The authoring walkthrough (with burst/bitflip as worked examples) lives in
+``docs/fault-models.md``.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..constraints import Location
 from ..errors.injector import registers_used_at
 from ..isa.instructions import Category
 from ..isa.program import Program
-from .spec import FaultSpec
+from .spec import BitFlipFaultSpec, BurstFaultSpec, FaultSpec
 
 
 def deterministic_sample(space: Sequence[FaultSpec], k: int,
@@ -71,10 +80,29 @@ def deterministic_sample(space: Sequence[FaultSpec], k: int,
 class FaultModel:
     """A named, picklable category of transient hardware faults.
 
-    Subclasses implement :meth:`enumerate`; :meth:`sample` and
-    :meth:`plan` are derived.  Enumeration must be a pure function of
-    ``(program, memory, pcs)`` so that every backend, worker and resumed
-    checkpoint sees the identical space.
+    This is the seam every new error scenario plugs into (authoring guide:
+    ``docs/fault-models.md``).  Subclasses implement :meth:`enumerate`;
+    :meth:`sample` and :meth:`plan` are derived.  The contract:
+
+    * **Enumeration is pure.**  :meth:`enumerate` must be a deterministic
+      function of ``(program, memory, pcs)`` — no wall clock, no unseeded
+      randomness, no filesystem — so every backend, worker and resumed
+      checkpoint sees the identical space in the identical order.
+    * **Specs are picklable and frozen.**  The produced
+      :class:`~repro.faults.spec.FaultSpec`\\ s ride every existing
+      carrier unchanged (injection chunks, task payloads, broker
+      manifests, checkpoint journals); equality must survive a pickle
+      round-trip, and :meth:`~repro.errors.injector.Injection.label` must
+      be unique within the space (it keys checkpoint journals).
+    * **Models are small frozen dataclasses.**  The model instance itself
+      travels inside :class:`~repro.parallel.spec.CampaignSpec` and is
+      content-digested into checkpoint headers, so configuration (e.g.
+      :attr:`BurstFault.k`) pins the campaign identity.
+
+    Register instances in :data:`FAULT_MODELS` to expose them on the CLI
+    (``repro analyze --fault-model NAME``); planning, sampling, all four
+    execution backends and the results warehouse then work on the new
+    specs with no further changes.
     """
 
     name: str = "abstract"
@@ -240,12 +268,117 @@ class InstructionOperandFault(RegisterValueFault):
         return f"operand ${register} corrupted"
 
 
+@dataclass(frozen=True)
+class BurstFault(FaultModel):
+    """*k* simultaneous corruptions per experiment (multi-error bursts).
+
+    The paper's multi-error extension: where the single-fault models place
+    one corruption per experiment, a burst applies *k* of them in one shot.
+    The space is composed from the enumerated spaces of *base_models*:
+    component specs are grouped by ``(breakpoint_pc, occurrence)`` — so
+    every component of a burst is activated together by the very next
+    instruction — and each k-combination of distinct targets at one site
+    becomes one :class:`~repro.faults.spec.BurstFaultSpec`.
+
+    Determinism: components keep base-model enumeration order, sites are
+    swept in address order, and combinations come out in
+    :func:`itertools.combinations` order — all pure functions of the
+    program, so every backend plans the identical burst space and
+    ``--sample``/``--seed`` pick the identical subset
+    (seed-deterministic pairing).  ``--burst-k`` on the CLI rebuilds the
+    registered instance with a different *k*.
+    """
+
+    k: int = 2
+    #: Registered base models whose spaces the bursts are drawn from.  Any
+    #: registered name works (cross-model bursts included); the default
+    #: composes register-file faults, the paper's Section 6 space.
+    base_models: Tuple[str, ...] = ("register",)
+    name = "burst"
+
+    def enumerate(self, program: Program,
+                  memory: Optional[Dict[int, int]] = None,
+                  pcs: Optional[Sequence[int]] = None) -> List[FaultSpec]:
+        if self.k < 2:
+            raise ValueError(f"a burst needs k >= 2 simultaneous faults, "
+                             f"got k={self.k}")
+        if self.name in self.base_models:
+            raise ValueError("a burst cannot compose itself; pick base "
+                             "models from the other registered models")
+        by_site: Dict[Tuple[int, int], List[FaultSpec]] = {}
+        for base_name in self.base_models:
+            base = fault_model(base_name)
+            for spec in base.enumerate(program, memory=memory, pcs=pcs):
+                site = (spec.breakpoint_pc, spec.occurrence)
+                by_site.setdefault(site, []).append(spec)
+        specs: List[FaultSpec] = []
+        for site in sorted(by_site):
+            # Distinct targets only: corrupting one location twice in the
+            # same burst degenerates to a single fault.
+            components: List[FaultSpec] = []
+            seen_targets = set()
+            for spec in by_site[site]:
+                key = (spec.target.kind, spec.target.index)
+                if key not in seen_targets:
+                    seen_targets.add(key)
+                    components.append(spec)
+            for combo in itertools.combinations(components, self.k):
+                specs.append(BurstFaultSpec(
+                    breakpoint_pc=site[0], occurrence=site[1],
+                    target=combo[0].target,
+                    description=f"burst of {self.k} simultaneous faults",
+                    model=self.name, components=combo))
+        return specs
+
+
+@dataclass(frozen=True)
+class BitFlipFault(FaultModel):
+    """Concrete single-bit flips over the symbolic models' addresses.
+
+    The Monte-Carlo leg of the parity study: for every injection address
+    the *base_models* enumerate (register words at each instruction that
+    uses them, and — through the memory model — data-segment cells before
+    each load), one spec per bit of the word.  The corruption is a
+    read-modify-write XOR of ``1 << bit`` at the breakpoint, so a bitflip
+    campaign is the classic random-FI experiment the paper validates
+    against (Section 6.3) swept over *exactly* the addresses the symbolic
+    ``err`` campaign covers — which is what makes the symbolic-vs-bit-flip
+    coverage comparison (``repro report --parity`` /
+    ``repro analyze --compare-concrete``) an apples-to-apples join.
+    """
+
+    word_bits: int = 32
+    base_models: Tuple[str, ...] = ("register", "memory")
+    name = "bitflip"
+
+    def enumerate(self, program: Program,
+                  memory: Optional[Dict[int, int]] = None,
+                  pcs: Optional[Sequence[int]] = None) -> List[FaultSpec]:
+        if self.name in self.base_models:
+            raise ValueError("bitflip cannot compose itself; pick base "
+                             "models from the other registered models")
+        specs: List[FaultSpec] = []
+        for base_name in self.base_models:
+            base = fault_model(base_name)
+            for spec in base.enumerate(program, memory=memory, pcs=pcs):
+                for bit in range(self.word_bits):
+                    specs.append(BitFlipFaultSpec(
+                        breakpoint_pc=spec.breakpoint_pc,
+                        occurrence=spec.occurrence,
+                        target=spec.target,
+                        description="single-bit flip",
+                        model=self.name, bit=bit))
+        return specs
+
+
 #: The pre-defined fault models offered on the CLI (`--fault-model`).
 FAULT_MODELS: Dict[str, FaultModel] = {
     "register": RegisterValueFault(),
     "memory": MemoryCellFault(),
     "control": ControlFlowFault(),
     "operand": InstructionOperandFault(),
+    "burst": BurstFault(),
+    "bitflip": BitFlipFault(),
 }
 
 

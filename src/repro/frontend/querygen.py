@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
 from ..core.campaign import SymbolicCampaign
-from ..core.queries import (SearchQuery, crashed, hung, incorrect_output,
-                            latent_err, output_contains_err,
+from ..core.queries import (SearchQuery, any_outcome, crashed, hung,
+                            incorrect_output, latent_err, output_contains_err,
                             printed_value_other_than, undetected_failure)
 from ..errors.models import ErrorClass, error_class
 from ..faults.models import FaultModel
@@ -34,6 +34,7 @@ QUERY_KINDS: Tuple[str, ...] = (
     "hang",                 # watchdog timeout
     "undetected-failure",   # any failure not caught by a detector
     "latent-err",           # err persists somewhere in the final state
+    "any-outcome",          # every terminal state (the parity-study census)
 )
 
 
@@ -75,6 +76,8 @@ def generate_query(kind: str,
         return undetected_failure(golden_output)
     if kind == "latent-err":
         return latent_err()
+    if kind == "any-outcome":
+        return any_outcome()
     raise ValueError(f"unknown query kind {kind!r}; available: {QUERY_KINDS}")
 
 

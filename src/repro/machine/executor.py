@@ -53,8 +53,8 @@ from .state import MachineState, TraceEntry
 
 __all__ = [
     "ExecutionConfig", "Executor", "SymbolicValueEncountered", "apply_fault",
-    "concrete_step", "concrete_step_legacy", "run_concrete",
-    "run_concrete_legacy", "run_concrete_until",
+    "apply_fault_set", "concrete_step", "concrete_step_legacy",
+    "run_concrete", "run_concrete_legacy", "run_concrete_until",
 ]
 
 
@@ -125,6 +125,52 @@ def apply_fault(state: MachineState, kind: str, index: int,
         state.constraints = state.constraints.without(Location.pc())
     else:
         raise ValueError(f"unknown fault location kind {kind!r}")
+
+
+def _read_fault_target(state: MachineState, target: Location) -> Value:
+    """Current contents of a fault target (for read-modify-write faults)."""
+    if target.kind == Location.REGISTER:
+        return state.read_register(target.index)
+    if target.kind == Location.MEMORY:
+        # An undefined word reads as zero, matching the machine's
+        # zero-initialised memory semantics.
+        return state.memory.get(target.index, 0)
+    if target.kind == Location.PC:
+        return state.pc
+    raise ValueError(f"unknown fault location kind {target.kind!r}")
+
+
+def apply_fault_set(state: MachineState, specs) -> None:
+    """Apply an ordered collection of fault specs through :func:`apply_fault`.
+
+    The multi-error entry point: every corruption — plain specs, the
+    ordered components of a :class:`~repro.faults.spec.BurstFaultSpec`, and
+    read-modify-write :class:`~repro.faults.spec.BitFlipFaultSpec` bit
+    flips — funnels through the single CoW write path, so incremental
+    fingerprints, the err census and the constraint map stay correct no
+    matter how many locations one experiment corrupts.
+
+    Specs are duck-typed (this module must not import :mod:`repro.faults`):
+    a spec with a non-empty ``components`` tuple is a burst and recurses
+    over its components in order; a spec with a ``bit`` attribute flips
+    that bit of the target's current contents (``err`` stays ``err`` — a
+    flipped unknown is still unknown); anything else writes its ``value``
+    (``ERR`` for plain injections).
+    """
+    for spec in specs:
+        components = getattr(spec, "components", None)
+        if components:
+            apply_fault_set(state, components)
+            continue
+        target = spec.target
+        bit = getattr(spec, "bit", None)
+        if bit is not None:
+            value = _read_fault_target(state, target)
+            if not is_err(value):
+                value = value ^ (1 << bit)
+        else:
+            value = getattr(spec, "value", ERR)
+        apply_fault(state, target.kind, target.index, value)
 
 
 class Executor:

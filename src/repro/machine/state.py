@@ -411,7 +411,13 @@ class MachineState:
         self.input: Tuple[int, ...] = tuple(input_values)
         self.input_pos: int = 0
         self._output: List[OutputItem] = list(output) if output else []
-        self.constraints: ConstraintMap = constraints or ConstraintMap()
+        # `is not None`, not truthiness: len() of a ConstraintMap counts
+        # tracked locations only, so a map holding nothing but relational
+        # constraints (two injected errs compared by a branch — the burst
+        # fault model produces these) is falsy and would be dropped here,
+        # silently losing constraints across a pickle round-trip.
+        self.constraints: ConstraintMap = (constraints if constraints is not None
+                                           else ConstraintMap())
         self.steps: int = 0
         self.status: Status = Status.RUNNING
         self.exception: Optional[str] = None

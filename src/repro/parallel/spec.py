@@ -159,6 +159,9 @@ class CampaignSpec:
     max_solutions_per_injection: int = 10
     max_states_per_injection: int = 50_000
     wall_clock_per_injection: Optional[float] = None
+    #: Search-state dedup; ``False`` for the parity census (see
+    #: :class:`~repro.core.campaign.SymbolicCampaign`).
+    deduplicate_states: bool = True
     #: ISA frontend name the program was retargeted through (``None`` = the
     #: native SymPLFIED build); plain metadata, so it pickles through chunks,
     #: task payloads and broker manifests like ``fault_model`` does.
@@ -182,6 +185,7 @@ class CampaignSpec:
             max_solutions_per_injection=campaign.max_solutions_per_injection,
             max_states_per_injection=campaign.max_states_per_injection,
             wall_clock_per_injection=campaign.wall_clock_per_injection,
+            deduplicate_states=campaign.deduplicate_states,
             isa=campaign.isa,
             telemetry=_obs.get().context())
 
@@ -197,4 +201,5 @@ class CampaignSpec:
             max_solutions_per_injection=self.max_solutions_per_injection,
             max_states_per_injection=self.max_states_per_injection,
             wall_clock_per_injection=self.wall_clock_per_injection,
+            deduplicate_states=self.deduplicate_states,
             isa=self.isa)

@@ -6,7 +6,7 @@ from __future__ import annotations
 from .aggregates import OutcomeAggregates, SolutionOutcome, classify_result
 from .recording import (RecordingStrategy, StoredCampaignResult,
                         StoredResultsView)
-from .report import format_report
+from .report import format_parity_report, format_report
 from .store import (CampaignRecord, MemoryResultStore, ResultStore,
                     SqliteResultStore)
 
@@ -21,5 +21,6 @@ __all__ = [
     "StoredCampaignResult",
     "StoredResultsView",
     "classify_result",
+    "format_parity_report",
     "format_report",
 ]

@@ -416,6 +416,8 @@ def _sweep_argv(args: argparse.Namespace) -> List[str]:
             "--workload", args.workload, "--query", args.query]
     if args.fault_model:
         argv += ["--fault-model", args.fault_model]
+    if getattr(args, "burst_k", None) is not None:
+        argv += ["--burst-k", str(args.burst_k)]
     if getattr(args, "isa", None):
         argv += ["--isa", args.isa]
     if args.sample is not None:
@@ -560,6 +562,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         help="workload for --expect-identical")
     parser.add_argument("--fault-model", default=None,
                         help="fault model for --expect-identical")
+    parser.add_argument("--burst-k", type=int, default=None, metavar="K",
+                        help="burst size for --expect-identical with "
+                             "--fault-model burst (passed through to "
+                             "'repro analyze --burst-k')")
     parser.add_argument("--isa", default=None, metavar="NAME",
                         help="ISA frontend for --expect-identical (retargets "
                              "the workload, e.g. mips or rv32im)")

@@ -134,6 +134,96 @@ def format_latent_rates(store: ResultStore) -> str:
     return "\n".join(lines)
 
 
+def _group_by_program(records: List[CampaignRecord]
+                      ) -> Dict[str, List[CampaignRecord]]:
+    groups: Dict[str, List[CampaignRecord]] = {}
+    for record in records:
+        program = str(record.meta.get("program")
+                      or record.meta.get("workload") or "(unknown)")
+        groups.setdefault(program, []).append(record)
+    return groups
+
+
+def format_parity_report(store: ResultStore) -> str:
+    """The symbolic-vs-bit-flip parity table (``repro report --parity``).
+
+    For every program that has both a ``bitflip`` campaign (the concrete
+    Monte-Carlo leg) and at least one symbolic campaign in the warehouse,
+    joins the two on injection point ``(breakpoint_pc, target)`` and checks
+    that every outcome kind the bit flips produced is covered by the
+    symbolic outcome set under the
+    :data:`~repro.concrete.parity.SYMBOLIC_COVERS` abstraction (a printed
+    ``err`` covers any concrete resolution; an incomplete symbolic search
+    covers a concrete hang).  Columnar only — reads
+    :meth:`~repro.results.store.ResultStore.outcome_kinds_by_point`,
+    never a result blob.
+    """
+    from ..concrete.parity import covers
+
+    lines: List[str] = []
+    for program, records in sorted(
+            _group_by_program(store.campaigns()).items()):
+        bitflip = [r for r in records
+                   if str(r.meta.get("fault_model")) == "bitflip"]
+        symbolic = [r for r in records
+                    if str(r.meta.get("fault_model")) != "bitflip"]
+        if not bitflip or not symbolic:
+            continue
+        concrete_points: Dict[tuple, set] = {}
+        for record in bitflip:
+            for point, (kinds, _completed) in store.outcome_kinds_by_point(
+                    record.campaign_id).items():
+                concrete_points.setdefault(point, set()).update(kinds)
+        symbolic_points: Dict[tuple, tuple] = {}
+        for record in symbolic:
+            for point, (kinds, completed) in store.outcome_kinds_by_point(
+                    record.campaign_id).items():
+                seen, complete = symbolic_points.get(point,
+                                                     (frozenset(), True))
+                symbolic_points[point] = (seen | kinds,
+                                          complete and completed)
+        lines.append(f"parity study for {program} "
+                     f"({len(symbolic)} symbolic campaign(s) vs "
+                     f"{len(bitflip)} bitflip campaign(s)):")
+        covered_points = 0
+        uncovered_kinds: set = set()
+        for point in sorted(concrete_points):
+            concrete_kinds = concrete_points[point]
+            sym_kinds, sym_complete = symbolic_points.get(
+                point, (frozenset(), True))
+            if point not in symbolic_points:
+                uncovered = sorted(concrete_kinds)
+            else:
+                uncovered = sorted(
+                    kind for kind in concrete_kinds
+                    if not covers(kind, sym_kinds, sym_complete))
+            point_label = f"pc={point[0]} {point[1]}"
+            sym_label = ",".join(sorted(sym_kinds)) or "-"
+            if not sym_complete:
+                sym_label += " (incomplete)"
+            verdict = ("covered" if not uncovered
+                       else "UNCOVERED: " + ",".join(uncovered))
+            lines.append(f"  {point_label:<24} symbolic={sym_label:<32} "
+                         f"bitflip={','.join(sorted(concrete_kinds)):<24} "
+                         f"{verdict}")
+            if uncovered:
+                uncovered_kinds.update(uncovered)
+            else:
+                covered_points += 1
+        summary = (f"  parity: symbolic covers {covered_points}/"
+                   f"{len(concrete_points)} injection points")
+        if concrete_points and covered_points == len(concrete_points):
+            summary += " — all concrete outcome classes covered"
+        elif concrete_points:
+            summary += f" — UNCOVERED: {', '.join(sorted(uncovered_kinds))}"
+        lines.append(summary)
+    if not lines:
+        return ("(no parity pairs in the results store — a parity report "
+                "needs a bitflip campaign and a symbolic campaign over the "
+                "same program)")
+    return "\n".join(lines)
+
+
 def format_report(store: ResultStore,
                   campaign_id: Optional[int] = None) -> str:
     """The ``repro report`` body: one campaign, or the whole warehouse."""

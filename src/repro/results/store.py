@@ -39,7 +39,7 @@ import sqlite3
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from .. import obs as _obs
 from ..core.campaign import InjectionResult
@@ -163,6 +163,22 @@ class ResultStore:
 
     def outcome_distribution(self, campaign_id: int) -> Dict[str, int]:
         """Per-outcome-kind solution counts (indexed query)."""
+        raise NotImplementedError
+
+    def outcome_kinds_by_point(self, campaign_id: int
+                               ) -> Dict[Tuple[int, str],
+                                         Tuple[FrozenSet[str], bool]]:
+        """Outcome kinds per injection point, for the parity report.
+
+        Maps ``(breakpoint_pc, repr(target))`` to ``(kinds, completed)``:
+        the set of outcome kinds any *activated* injection at that point
+        recorded, and whether every search at the point ran to completion
+        (an incomplete search may hide outcomes — the parity report's
+        hang rule keys off this).  Multiple injections can share a point
+        (e.g. one bit-flip campaign row per bit); their kinds union.
+        Columnar only — joins ``injections`` with ``outcomes``, never
+        unpickles a result blob.
+        """
         raise NotImplementedError
 
     def close(self) -> None:
@@ -351,6 +367,26 @@ class SqliteResultStore(ResultStore):
             "GROUP BY kind", (campaign_id,)).fetchall()
         return {row[0]: int(row[1]) for row in rows}
 
+    def outcome_kinds_by_point(self, campaign_id: int
+                               ) -> Dict[Tuple[int, str],
+                                         Tuple[FrozenSet[str], bool]]:
+        kinds: Dict[Tuple[int, str], set] = {}
+        complete: Dict[Tuple[int, str], bool] = {}
+        rows = self._connection.execute(
+            "SELECT i.breakpoint_pc, i.target, i.completed, o.kind "
+            "FROM injections i LEFT JOIN outcomes o "
+            "ON o.campaign_id = i.campaign_id AND o.seq = i.seq "
+            "WHERE i.campaign_id = ? AND i.activated = 1",
+            (campaign_id,)).fetchall()
+        for breakpoint_pc, target, completed, kind in rows:
+            point = (int(breakpoint_pc), target)
+            bucket = kinds.setdefault(point, set())
+            if kind is not None:
+                bucket.add(kind)
+            complete[point] = complete.get(point, True) and bool(completed)
+        return {point: (frozenset(bucket), complete[point])
+                for point, bucket in kinds.items()}
+
     def close(self) -> None:
         self.flush()
         self._connection.close()
@@ -468,6 +504,24 @@ class MemoryResultStore(ResultStore):
                 for outcome in outcomes:
                     counts[outcome.kind] = counts.get(outcome.kind, 0) + 1
             return counts
+
+    def outcome_kinds_by_point(self, campaign_id: int
+                               ) -> Dict[Tuple[int, str],
+                                         Tuple[FrozenSet[str], bool]]:
+        with self._lock:
+            kinds: Dict[Tuple[int, str], set] = {}
+            complete: Dict[Tuple[int, str], bool] = {}
+            outcomes = self._outcomes.get(campaign_id, {})
+            for seq, row in self._rows.get(campaign_id, {}).items():
+                if not row.activated:
+                    continue
+                point = (row.breakpoint_pc, row.target)
+                bucket = kinds.setdefault(point, set())
+                bucket.update(outcome.kind
+                              for outcome in outcomes.get(seq, ()))
+                complete[point] = complete.get(point, True) and row.completed
+            return {point: (frozenset(bucket), complete[point])
+                    for point, bucket in kinds.items()}
 
     def close(self) -> None:
         self.flush()

@@ -1,0 +1,343 @@
+"""Tests for the multi-error burst model and the symbolic-vs-bit-flip parity
+study (`repro.faults` burst/bitflip, `repro.concrete.parity`,
+`repro.results` parity report).
+
+Covers: burst enumeration invariants and component-order preservation
+through every carrier (pickle, broker manifest, checkpoint journal — a
+hypothesis property over component permutations), serial-vs-pool identity
+for a burst campaign, bit-flip read-modify-write semantics through the
+shared fault-application path, the parity coverage rules, and the
+superset property on factorial (every concrete bit-flip outcome class is
+covered by the symbolic campaign).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concrete import ConcreteSimulator, run_parity_study
+from repro.concrete.parity import SYMBOLIC_COVERS, covers
+from repro.constraints import Location
+from repro.core import (OutcomeKind, SerialExecutionStrategy,
+                        SymbolicCampaign, any_outcome)
+from repro.core.campaign import InjectionResult
+from repro.distributed import CampaignManifest, FilesystemBroker
+from repro.distributed.checkpoint import (CheckpointJournal, campaign_header,
+                                          injection_key)
+from repro.faults import (FAULT_MODELS, BitFlipFault, BitFlipFaultSpec,
+                          BurstFault, BurstFaultSpec, FaultSpec, fault_model)
+from repro.isa.values import ERR, is_err
+from repro.machine import ExecutionConfig
+from repro.machine.executor import apply_fault_set
+from repro.machine.state import initial_state
+from repro.parallel import (CampaignSpec, ParallelConfig,
+                            ParallelExecutionStrategy, QuerySpec)
+from repro.programs import factorial_campaign, load_workload
+from repro.results import (MemoryResultStore, RecordingStrategy,
+                           format_parity_report)
+from repro.results.aggregates import SolutionOutcome
+
+
+@pytest.fixture(scope="module")
+def factorial():
+    return load_workload("factorial")
+
+
+# --------------------------------------------------------------- enumeration
+
+class TestBurstEnumeration:
+    def test_every_spec_is_a_burst_of_k_distinct_colocated_components(
+            self, factorial):
+        specs = fault_model("burst").enumerate(factorial.program,
+                                               memory=factorial.data_segment)
+        assert specs
+        for spec in specs:
+            assert isinstance(spec, BurstFaultSpec)
+            assert len(spec.components) == 2
+            targets = {(c.target.kind, c.target.index)
+                       for c in spec.components}
+            assert len(targets) == 2  # distinct locations
+            for component in spec.components:
+                assert component.breakpoint_pc == spec.breakpoint_pc
+                assert component.occurrence == spec.occurrence
+            assert spec.target == spec.components[0].target
+
+    def test_burst_k_grows_the_combination_size(self, factorial):
+        for spec in BurstFault(k=3).enumerate(factorial.program,
+                                              memory=factorial.data_segment):
+            assert len(spec.components) == 3
+
+    def test_burst_rejects_k_below_two_and_self_composition(self, factorial):
+        with pytest.raises(ValueError, match="k >= 2"):
+            BurstFault(k=1).enumerate(factorial.program)
+        with pytest.raises(ValueError, match="compose itself"):
+            BurstFault(base_models=("burst",)).enumerate(factorial.program)
+        with pytest.raises(ValueError, match="compose itself"):
+            BitFlipFault(base_models=("bitflip",)).enumerate(factorial.program)
+
+    def test_labels_are_unique_across_the_space(self, factorial):
+        """Checkpoint journals key on labels: two bursts (or two bit
+        positions) at one site must never collide."""
+        for name in ("burst", "bitflip"):
+            specs = FAULT_MODELS[name].enumerate(
+                factorial.program, memory=factorial.data_segment)
+            labels = [spec.label() for spec in specs]
+            assert len(labels) == len(set(labels))
+
+
+# ------------------------------------------------- component-order invariance
+
+def _burst_with_components(order):
+    components = tuple(
+        FaultSpec(breakpoint_pc=4, target=Location.register(r),
+                  model="register") for r in order)
+    return BurstFaultSpec(breakpoint_pc=4, target=components[0].target,
+                          model="burst", components=components)
+
+
+class TestComponentOrderSurvivesTheCarriers:
+    @settings(max_examples=25, deadline=None)
+    @given(order=st.permutations([1, 3, 4, 5]))
+    def test_pickle_round_trip_preserves_component_order(self, order):
+        spec = _burst_with_components(order)
+        clone = pickle.loads(pickle.dumps(spec, protocol=4))
+        assert clone == spec
+        assert [c.target.index for c in clone.components] == list(order)
+        assert all(c.value is ERR for c in clone.components)
+
+    @settings(max_examples=10, deadline=None)
+    @given(order=st.permutations([1, 3, 5]))
+    def test_checkpoint_journal_round_trip_preserves_order(
+            self, order, tmp_path_factory):
+        spec = _burst_with_components(order)
+        path = str(tmp_path_factory.mktemp("journal") / "journal.bin")
+        journal = CheckpointJournal(path)
+        journal.ensure_header({"id": "order-test"})
+        journal.append_result(spec, InjectionResult(injection=spec,
+                                                    activated=False))
+        completed = CheckpointJournal(path).load_completed(
+            expect_header={"id": "order-test"})
+        (key, result), = completed.items()
+        assert key == injection_key(spec) == spec.label()
+        assert result.injection == spec
+        assert [c.target.index
+                for c in result.injection.components] == list(order)
+
+    def test_broker_manifest_round_trip_preserves_order(
+            self, tmp_path, factorial):
+        campaign = SymbolicCampaign(factorial.program,
+                                    fault_model=FAULT_MODELS["burst"])
+        chunk = tuple(campaign.plan_injections(sample=4, seed=7))
+        assert any(len(spec.components) == 2 for spec in chunk)
+        broker = FilesystemBroker(str(tmp_path / "queue"))
+        broker.reset()
+        broker.publish_manifest(CampaignManifest(
+            campaign_spec=CampaignSpec.from_campaign(campaign),
+            query_spec=QuerySpec.predefined("err-output"),
+            campaign_id="burst-rt"))
+        broker.put_task(0, chunk)
+        consumer = FilesystemBroker(str(tmp_path / "queue"))
+        manifest = consumer.load_manifest(timeout=5)
+        assert manifest.campaign_spec.fault_model == FAULT_MODELS["burst"]
+        claim = consumer.claim_next()
+        assert claim.payload == chunk
+        for sent, got in zip(chunk, claim.payload):
+            assert [c.target.index for c in got.components] \
+                == [c.target.index for c in sent.components]
+
+    def test_checkpoint_header_pins_burst_k(self):
+        """Resuming a k=2 journal under k=3 must be refused: k rides the
+        semantics digest."""
+        k2, query = factorial_campaign(fault_model="burst")
+        k3, _ = factorial_campaign(fault_model=BurstFault(k=3))
+        assert campaign_header(k2, query)["semantics_digest"] \
+            != campaign_header(k3, query)["semantics_digest"]
+
+    def test_header_pins_the_dedup_knob(self):
+        """--no-dedup changes what a search returns, so it is part of the
+        journal identity (search_caps)."""
+        on, query = factorial_campaign(fault_model="register")
+        off, _ = factorial_campaign(fault_model="register",
+                                    deduplicate_states=False)
+        assert campaign_header(on, query)["search_caps"] \
+            != campaign_header(off, query)["search_caps"]
+
+
+# ----------------------------------------------------- application semantics
+
+class TestFaultSetApplication:
+    def test_burst_writes_every_component_through_the_cow_path(self):
+        state = initial_state()
+        state.write_register(3, 7)
+        apply_fault_set(state, (_burst_with_components([1, 3]),))
+        assert is_err(state.read_register(1))
+        assert is_err(state.read_register(3))
+
+    def test_bitflip_is_a_read_modify_write_xor(self):
+        state = initial_state(memory={100: 0b1010})
+        state.write_register(2, 5)
+        apply_fault_set(state, (
+            BitFlipFaultSpec(breakpoint_pc=0, target=Location.register(2),
+                             model="bitflip", bit=1),
+            BitFlipFaultSpec(breakpoint_pc=0, target=Location.memory(100),
+                             model="bitflip", bit=3),
+        ))
+        assert state.read_register(2) == 5 ^ 2
+        assert state.memory.get(100) == 0b0010
+
+    def test_flipping_an_err_leaves_err(self):
+        state = initial_state()
+        state.write_register(2, ERR)
+        apply_fault_set(state, (BitFlipFaultSpec(
+            breakpoint_pc=0, target=Location.register(2),
+            model="bitflip", bit=5),))
+        assert is_err(state.read_register(2))
+
+    def test_concrete_simulator_applies_the_same_flip(self, factorial):
+        """run_with_spec and the symbolic injector share apply_fault_set: a
+        flip of a dead register's high bit activates but stays harmless."""
+        simulator = ConcreteSimulator(factorial.program,
+                                      factorial.detectors, max_steps=2000)
+        golden = simulator.golden_output(factorial.default_input,
+                                         factorial.data_segment)
+        run = simulator.run_with_spec(
+            BitFlipFaultSpec(breakpoint_pc=0, target=Location.register(9),
+                             model="bitflip", bit=30),
+            input_values=factorial.default_input,
+            memory=factorial.data_segment)
+        assert run.activated
+        assert run.output == golden
+
+
+# ----------------------------------------------------- backend equivalence
+
+class TestBurstBackendEquivalence:
+    def test_pool_run_is_identical_to_serial_for_a_burst_campaign(self):
+        """Includes the witness constraints in the projection: a burst of
+        two errs can leave a purely relational constraint map (e.g.
+        ``$(3) <= $(4)``), which must survive the worker->coordinator
+        pickle byte-faithfully."""
+        campaign, query = factorial_campaign(fault_model="burst",
+                                             max_states_per_injection=4000)
+        injections = campaign.plan_injections(sample=4, seed=7)
+        serial = campaign.run(query, injections=injections)
+        pooled = campaign.run(query, injections=injections,
+                              strategy=ParallelExecutionStrategy(
+                                  QuerySpec.predefined("err-output"),
+                                  ParallelConfig(workers=2, chunk_size=2)))
+
+        def projection(result):
+            return [(r.injection, r.activated,
+                     [(s.state.output_values(), s.depth,
+                       s.state.constraints.describe())
+                      for s in r.solutions])
+                    for r in result.results]
+
+        assert projection(serial) == projection(pooled)
+
+
+# ------------------------------------------------------------- parity study
+
+class TestParityCoverage:
+    def test_err_output_abstracts_any_printed_resolution(self):
+        assert covers("correct", frozenset({"err-output"}), True)
+        assert covers("incorrect", frozenset({"err-output"}), True)
+        assert not covers("crash", frozenset({"err-output"}), True)
+        assert not covers("detected", frozenset({"err-output"}), True)
+
+    def test_incomplete_symbolic_search_covers_a_concrete_hang(self):
+        assert covers("hang", frozenset(), False)
+        assert not covers("hang", frozenset(), True)
+        assert covers("hang", frozenset({"hang"}), True)
+
+    def test_every_concrete_kind_has_a_coverage_rule(self):
+        assert set(SYMBOLIC_COVERS) == {kind.value for kind in OutcomeKind}
+
+    def test_factorial_symbolic_campaign_covers_every_bit_flip_class(
+            self, factorial):
+        """The acceptance property (paper Section 6.3): on factorial, the
+        one symbolic err campaign covers every outcome class any concrete
+        single-bit flip produces, at every register injection point."""
+        specs = fault_model("register").enumerate(
+            factorial.program, memory=factorial.data_segment)
+        report = run_parity_study(
+            factorial.program, specs, factorial.golden_output(),
+            input_values=factorial.default_input,
+            memory=factorial.data_segment,
+            detectors=factorial.detectors, max_steps=2000)
+        assert report.rows
+        assert report.all_covered, report.format_table()
+        assert "all concrete outcome classes covered" in report.summary()
+        kinds = set().union(*(row.concrete_kinds for row in report.rows))
+        assert "hang" in kinds  # the study exercises the hard case
+
+    def test_burst_specs_contribute_their_component_points(self, factorial):
+        bursts = fault_model("burst").enumerate(
+            factorial.program, memory=factorial.data_segment)[:1]
+        report = run_parity_study(
+            factorial.program, bursts, factorial.golden_output(),
+            input_values=factorial.default_input,
+            memory=factorial.data_segment,
+            detectors=factorial.detectors, max_steps=2000)
+        assert len(report.rows) == len(bursts[0].components)
+
+
+# ------------------------------------------------------- warehouse parity
+
+class TestWarehouseParityReport:
+    def test_report_joins_symbolic_and_bitflip_campaigns(self, factorial):
+        """The `repro report --parity` flow: one symbolic census campaign
+        (dedup off so hangs reach the watchdog) and one bit-flip campaign
+        into the same store; the report joins them per injection point."""
+        store = MemoryResultStore(batch_size=4)
+        golden = factorial.golden_output()
+        for model, sample, dedup in (("register", None, False),
+                                     ("bitflip", 64, True)):
+            campaign, _ = factorial_campaign(
+                fault_model=model, max_solutions_per_injection=10_000,
+                max_states_per_injection=50_000, deduplicate_states=dedup,
+                execution_config=ExecutionConfig(max_steps=2000))
+            recording = RecordingStrategy(
+                SerialExecutionStrategy(), store,
+                meta={"program": "factorial", "fault_model": model},
+                golden_output=golden)
+            campaign.run(any_outcome(),
+                         injections=campaign.plan_injections(sample=sample,
+                                                             seed=7),
+                         strategy=recording)
+        text = format_parity_report(store)
+        assert "factorial" in text
+        assert "all concrete outcome classes covered" in text
+
+    def test_outcome_kinds_by_point_unions_rows_at_one_point(self):
+        """Two bit positions at one (pc, target) point fold into one row
+        whose kinds set is the union — on both store backends (the sqlite
+        side is exercised by the conformance suite too)."""
+        store = MemoryResultStore(batch_size=1)
+        campaign_id = store.begin_campaign({"program": "p"})
+        for seq, (bit, kind) in enumerate(((0, "hang"), (1, "incorrect"))):
+            spec = BitFlipFaultSpec(breakpoint_pc=1,
+                                    target=Location.register(2),
+                                    model="bitflip", bit=bit)
+            store.append(campaign_id, seq,
+                         InjectionResult(injection=spec, activated=True),
+                         [SolutionOutcome(kind=kind)])
+        store.flush()
+        (point, (kinds, completed)), = \
+            store.outcome_kinds_by_point(campaign_id).items()
+        assert point == (1, repr(Location.register(2)))
+        assert kinds == {"hang", "incorrect"}
+        assert completed is True
+
+    def test_non_activated_rows_do_not_create_points(self):
+        store = MemoryResultStore(batch_size=1)
+        campaign_id = store.begin_campaign({})
+        spec = BitFlipFaultSpec(breakpoint_pc=9,
+                                target=Location.register(1),
+                                model="bitflip", bit=0)
+        store.append(campaign_id, 0,
+                     InjectionResult(injection=spec, activated=False), [])
+        store.flush()
+        assert store.outcome_kinds_by_point(campaign_id) == {}

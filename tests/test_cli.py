@@ -417,8 +417,9 @@ class TestIsaAndFaultModelValidation:
             self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["analyze", "--workload", "factorial",
-                  "--fault-model", "bitflip"])
+                  "--fault-model", "gamma-ray"])
         message = str(excinfo.value)
-        assert "unknown fault model 'bitflip'" in message
+        assert "unknown fault model 'gamma-ray'" in message
         assert "register" in message and "memory" in message
+        assert "burst" in message and "bitflip" in message
         assert "\n" not in message.strip()

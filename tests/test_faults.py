@@ -48,9 +48,9 @@ def load_program():
 # ------------------------------------------------------------------ registry
 
 class TestRegistry:
-    def test_the_four_models_are_registered(self):
-        assert sorted(FAULT_MODELS) == ["control", "memory", "operand",
-                                        "register"]
+    def test_the_six_models_are_registered(self):
+        assert sorted(FAULT_MODELS) == ["bitflip", "burst", "control",
+                                        "memory", "operand", "register"]
         for name, model in FAULT_MODELS.items():
             assert model.name == name
 

@@ -246,6 +246,27 @@ class TestAggregates:
                 expected[outcome.kind] = expected.get(outcome.kind, 0) + 1
         assert store.outcome_distribution(campaign_id) == expected
 
+    def test_outcome_kinds_by_point_equals_full_scan_refold(self, harness,
+                                                            swept):
+        """The parity report's per-point join must equal re-folding the
+        stored rows by hand: activated rows only, kinds unioned and
+        completedness ANDed across rows sharing one (pc, target) point."""
+        store = harness.make(batch_size=3)
+        campaign_id = self.fill(store, swept)
+        refold = {}
+        for injection_result, outcomes in outcomes_for(swept):
+            if not injection_result.activated:
+                continue
+            injection = injection_result.injection
+            point = (injection.breakpoint_pc, repr(injection.target))
+            kinds, completed = refold.get(point, (set(), True))
+            refold[point] = (kinds | {o.kind for o in outcomes},
+                             completed and injection_result.completed)
+        folded = {point: (set(kinds), completed) for point, (kinds, completed)
+                  in store.outcome_kinds_by_point(campaign_id).items()}
+        assert folded == refold
+        assert refold  # the sweep must actually exercise the join
+
     def test_campaign_metadata_round_trips(self, harness, swept):
         store = harness.make()
         meta = {"workload": "factorial", "query": "err-output",
